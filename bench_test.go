@@ -1,0 +1,222 @@
+package verc3_test
+
+// The benchmark harness: one benchmark per row of the paper's Table I, one
+// for the Figure 2 worked example, and ablation benchmarks for the design
+// choices DESIGN.md calls out (pruning pattern style, symmetry reduction,
+// search order).
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Notes on scale: benchmarks default to 2 caches so the whole suite runs in
+// minutes. The MSI-large naive row evaluates 102,102,525 candidates when run
+// to completion (the paper's C++ took 8.8 hours); the benchmark samples
+// -table1.naive.max dispatches and reports per-candidate cost, from which
+// cmd/verc3-table1 extrapolates. Custom metrics: evaluated (model-checker
+// dispatches), patterns (pruning patterns), solutions, and states/op.
+
+import (
+	"flag"
+	"testing"
+
+	"verc3/internal/core"
+	"verc3/internal/mc"
+	"verc3/internal/msi"
+	"verc3/internal/mutex"
+	"verc3/internal/toy"
+)
+
+var (
+	benchCaches   = flag.Int("table1.caches", 2, "cache count for Table I benchmarks")
+	benchWorkers  = flag.Int("table1.workers", 4, "worker count for parallel Table I rows")
+	benchNaiveMax = flag.Int64("table1.naive.max", 20000, "dispatch cap for the MSI-large naive row (0 = full)")
+)
+
+// synthBench runs one synthesis configuration per iteration and reports the
+// paper's Table I columns as metrics.
+func synthBench(b *testing.B, variant msi.Variant, cfg core.Config) {
+	b.Helper()
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		sys := msi.New(msi.Config{Caches: *benchCaches, Variant: variant})
+		res, err := core.Synthesize(sys, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Stats.Evaluated), "evaluated")
+	b.ReportMetric(float64(last.Stats.Patterns), "patterns")
+	b.ReportMetric(float64(len(last.Solutions)), "solutions")
+	b.ReportMetric(float64(last.Stats.TotalVisitedStates), "states")
+}
+
+// --- Table I rows (experiments E1–E6) ---
+
+// BenchmarkTable1SmallNaive is row 1: MSI-small, 1 thread, no pruning
+// (231,525 candidates, all evaluated). Paper: 64.5s, 4 solutions.
+func BenchmarkTable1SmallNaive(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full naive enumeration; run without -short")
+	}
+	synthBench(b, msi.Small, core.Config{Mode: core.ModeNaive, MC: mc.Options{Symmetry: true}})
+}
+
+// BenchmarkTable1SmallPrune1T is row 2: MSI-small, 1 thread, pruning.
+// Paper: 1,179,648 candidates, 743 patterns, 855 evaluated, 1.8s.
+func BenchmarkTable1SmallPrune1T(b *testing.B) {
+	synthBench(b, msi.Small, core.Config{Mode: core.ModePrune, MC: mc.Options{Symmetry: true}})
+}
+
+// BenchmarkTable1SmallPrune4T is row 3: MSI-small, 4 threads, pruning.
+// Paper: 825 evaluated, 1.2s. (Speedup requires >1 CPU; see EXPERIMENTS.md.)
+func BenchmarkTable1SmallPrune4T(b *testing.B) {
+	synthBench(b, msi.Small, core.Config{Mode: core.ModePrune, Workers: *benchWorkers, MC: mc.Options{Symmetry: true}})
+}
+
+// BenchmarkTable1LargeNaive is row 4: MSI-large, 1 thread, no pruning.
+// Paper: 102,102,525 candidates, 31,573.5s. Sampled here (see -table1.naive.max);
+// sec/op divided by `evaluated` gives per-candidate cost for extrapolation.
+func BenchmarkTable1LargeNaive(b *testing.B) {
+	if testing.Short() {
+		b.Skip("naive enumeration sample; run without -short")
+	}
+	synthBench(b, msi.Large, core.Config{Mode: core.ModeNaive, MC: mc.Options{Symmetry: true}, MaxEvaluations: *benchNaiveMax})
+}
+
+// BenchmarkTable1LargePrune1T is row 5: MSI-large, 1 thread, pruning.
+// Paper: 1,207,959,552 candidates, 34,928 patterns, 170,108 evaluated, 739.7s.
+func BenchmarkTable1LargePrune1T(b *testing.B) {
+	if testing.Short() {
+		b.Skip("~40s per iteration; run without -short")
+	}
+	synthBench(b, msi.Large, core.Config{Mode: core.ModePrune, MC: mc.Options{Symmetry: true}})
+}
+
+// BenchmarkTable1LargePrune4T is row 6: MSI-large, 4 threads, pruning.
+// Paper: 170,087 evaluated, 295.7s.
+func BenchmarkTable1LargePrune4T(b *testing.B) {
+	if testing.Short() {
+		b.Skip("~40s per iteration; run without -short")
+	}
+	synthBench(b, msi.Large, core.Config{Mode: core.ModePrune, Workers: *benchWorkers, MC: mc.Options{Symmetry: true}})
+}
+
+// --- Figure 2 (experiment E7) ---
+
+// BenchmarkFig2Prune reproduces the worked example: 10 candidates evaluated.
+func BenchmarkFig2Prune(b *testing.B) {
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(toy.Figure2(), core.Config{Mode: core.ModePrune})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Stats.Evaluated), "evaluated")
+}
+
+// BenchmarkFig2Naive is the 24-candidate (nominal) baseline.
+func BenchmarkFig2Naive(b *testing.B) {
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(toy.Figure2(), core.Config{Mode: core.ModeNaive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Stats.Evaluated), "evaluated")
+}
+
+// --- Ablations (experiment E9) ---
+
+// BenchmarkAblationPruneFullVector vs BenchmarkAblationPruneTraceGeneralized:
+// the paper's full-vector patterns against our Ct-generalized extension.
+func BenchmarkAblationPruneFullVector(b *testing.B) {
+	synthBench(b, msi.Small, core.Config{Mode: core.ModePrune, PruneStyle: core.PruneFullVector, MC: mc.Options{Symmetry: true}})
+}
+
+// BenchmarkAblationPruneTraceGeneralized binds only the holes on the error
+// trace, pruning strictly more candidates per pattern.
+func BenchmarkAblationPruneTraceGeneralized(b *testing.B) {
+	synthBench(b, msi.Small, core.Config{Mode: core.ModePrune, PruneStyle: core.PruneTraceGeneralized, MC: mc.Options{Symmetry: true}})
+}
+
+// BenchmarkAblationSymmetryOn/Off: scalarset reduction inside the synthesis
+// loop (§II argues explicit-state synthesis makes this easy).
+func BenchmarkAblationSymmetryOn(b *testing.B) {
+	synthBench(b, msi.Small, core.Config{Mode: core.ModePrune, MC: mc.Options{Symmetry: true}})
+}
+
+// BenchmarkAblationSymmetryOff disables canonicalization.
+func BenchmarkAblationSymmetryOff(b *testing.B) {
+	synthBench(b, msi.Small, core.Config{Mode: core.ModePrune, MC: mc.Options{Symmetry: false}})
+}
+
+// BenchmarkAblationSearchBFS/DFS: BFS yields minimal traces (maximally
+// general patterns); DFS is the ablation.
+func BenchmarkAblationSearchBFS(b *testing.B) {
+	synthBench(b, msi.Small, core.Config{Mode: core.ModePrune, MC: mc.Options{Symmetry: true, Order: mc.BFS}})
+}
+
+// BenchmarkAblationSearchDFS uses depth-first exploration in the embedded
+// model checker. With full-vector patterns the whole enumerated prefix is
+// bound regardless of which trace was found, so DFS costs little here.
+func BenchmarkAblationSearchDFS(b *testing.B) {
+	synthBench(b, msi.Small, core.Config{Mode: core.ModePrune, MC: mc.Options{Symmetry: true, Order: mc.DFS}})
+}
+
+// BenchmarkAblationSearchDFSTraceGen is where trace minimality actually
+// matters: trace-generalized patterns bind exactly the holes on the found
+// error trace, so DFS's longer traces yield less general patterns than the
+// BFS numbers in BenchmarkAblationPruneTraceGeneralized.
+func BenchmarkAblationSearchDFSTraceGen(b *testing.B) {
+	synthBench(b, msi.Small, core.Config{Mode: core.ModePrune, PruneStyle: core.PruneTraceGeneralized, MC: mc.Options{Symmetry: true, Order: mc.DFS}})
+}
+
+// --- Model-checker microbenchmarks ---
+
+// BenchmarkMCCompleteMSI measures raw verification throughput on the
+// complete protocol (the synthesis inner loop's unit of work).
+func BenchmarkMCCompleteMSI(b *testing.B) {
+	sys := msi.New(msi.Config{Caches: *benchCaches, Variant: msi.Complete})
+	var states int
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(sys, mc.Options{Symmetry: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = res.Stats.VisitedStates
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkMCCompleteMSINoSymmetry is the unreduced baseline.
+func BenchmarkMCCompleteMSINoSymmetry(b *testing.B) {
+	sys := msi.New(msi.Config{Caches: *benchCaches, Variant: msi.Complete})
+	var states int
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(sys, mc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = res.Stats.VisitedStates
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkSynthPeterson covers the second domain end to end.
+func BenchmarkSynthPeterson(b *testing.B) {
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(mutex.New(true), core.Config{Mode: core.ModePrune})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Stats.Evaluated), "evaluated")
+}

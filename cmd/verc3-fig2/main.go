@@ -1,0 +1,80 @@
+// Command verc3-fig2 regenerates the paper's Figure 2 worked example: it
+// synthesizes the 4-hole chain system with candidate pruning and prints the
+// run-by-run table (candidate evaluated, verdict, pruning pattern inserted,
+// holes discovered), then compares against the naive enumeration count.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"verc3/internal/core"
+	"verc3/internal/toy"
+)
+
+func main() {
+	g := toy.Figure2()
+
+	fmt.Println("Figure 2 worked example: 4 holes; hole 1 has actions {A,B,C}, holes 2-4 {A,B}.")
+	fmt.Println()
+	fmt.Printf("%4s  %-28s  %-8s  %-9s  %s\n", "Run", "Candidate", "Verdict", "Patterns", "Holes")
+
+	run := 0
+	lastPatterns := 0
+	var events []core.Event
+	res, err := core.Synthesize(g, core.Config{
+		Mode: core.ModePrune,
+		OnEvaluate: func(ev core.Event) {
+			run++
+			mark := ""
+			if ev.Patterns > lastPatterns {
+				mark = fmt.Sprintf("+%d", ev.Patterns-lastPatterns)
+			}
+			lastPatterns = ev.Patterns
+			fmt.Printf("%4d  %-28s  %-8s  %-9s  %d\n", run, describe(ev.Assign, ev.Holes), ev.Verdict, mark, ev.Holes)
+			events = append(events, ev)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
+		os.Exit(2)
+	}
+
+	naive, err := core.Synthesize(g, core.Config{Mode: core.ModeNaive})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
+		os.Exit(2)
+	}
+
+	fmt.Println()
+	fmt.Printf("pruning:  %d candidates evaluated, %d pruning patterns, %d solution(s)\n",
+		res.Stats.Evaluated, res.Stats.Patterns, len(res.Solutions))
+	for i := range res.Solutions {
+		fmt.Printf("  solution: %s\n", res.Describe(i))
+	}
+	fmt.Printf("naive:    %d of the nominal %d candidates evaluated\n",
+		naive.Stats.Evaluated, naive.Stats.CandidateSpace)
+	fmt.Println()
+	fmt.Println("Paper (Fig. 2): 10 runs with pruning versus 24 naive candidates.")
+}
+
+// describe renders a candidate in the paper's ⟨1@A, 2@?⟩ notation; holes
+// discovered but beyond the bound prefix print as wildcards.
+func describe(assign []int, holes int) string {
+	if holes == 0 {
+		return "⟨⟩"
+	}
+	acts := [][]string{{"A", "B", "C"}, {"A", "B"}, {"A", "B"}, {"A", "B"}}
+	s := "⟨"
+	for i := 0; i < holes && i < len(acts); i++ {
+		if i > 0 {
+			s += ", "
+		}
+		if i < len(assign) {
+			s += fmt.Sprintf("%d@%s", i+1, acts[i][assign[i]])
+		} else {
+			s += fmt.Sprintf("%d@?", i+1)
+		}
+	}
+	return s + "⟩"
+}

@@ -1,0 +1,16 @@
+// Package verc3 is a Go reproduction of "VerC3: A Library for Explicit
+// State Synthesis of Concurrent Systems" (Elver, Banks, Jackson &
+// Nagarajan, DATE 2018).
+//
+// The library lives under internal/: the guarded-command modelling DSL
+// (internal/ts), the embedded explicit-state model checker with symmetry
+// reduction (internal/mc, internal/symmetry), the synthesis engine with
+// lazy hole discovery and candidate pruning (internal/core), the unordered
+// interconnect substrate (internal/network), and the case studies
+// (internal/msi, internal/mutex, internal/toy). Command-line tools are
+// under cmd/ and runnable examples under examples/.
+//
+// The benchmark harness in bench_test.go regenerates every table and figure
+// of the paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-versus-measured results.
+package verc3

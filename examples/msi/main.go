@@ -1,0 +1,65 @@
+// MSI example: the paper's case study end to end. Verifies the complete
+// directory-based MSI protocol, then synthesizes the MSI-small skeleton
+// (8 holes: 2 directory transient rules × 3 action types + 1 cache transient
+// rule × 2 action types) and prints the solutions, demonstrating that the
+// hand-written transient-state actions are re-derived automatically.
+//
+// Run with:
+//
+//	go run ./examples/msi [-caches 2] [-large] [-workers 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"verc3/internal/core"
+	"verc3/internal/mc"
+	"verc3/internal/msi"
+)
+
+func main() {
+	caches := flag.Int("caches", 2, "number of cache controllers")
+	large := flag.Bool("large", false, "synthesize MSI-large (12 holes) instead of MSI-small (8)")
+	workers := flag.Int("workers", 1, "parallel synthesis workers")
+	flag.Parse()
+
+	// 1. The complete protocol is correct: SWMR, data-value coherence,
+	//    deadlock freedom, handshake well-formedness, and all stable states
+	//    reachable.
+	complete := msi.New(msi.Config{Caches: *caches, Variant: msi.Complete})
+	res, err := mc.Check(complete, mc.Options{Symmetry: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%d caches): verdict=%s, %d states, %d transitions\n",
+		complete.Name(), *caches, res.Verdict, res.Stats.VisitedStates, res.Stats.FiredTransitions)
+
+	// 2. Blank out the transient-state actions and synthesize them back.
+	variant := msi.Small
+	if *large {
+		variant = msi.Large
+	}
+	skeleton := msi.New(msi.Config{Caches: *caches, Variant: variant})
+	start := time.Now()
+	out, err := core.Synthesize(skeleton, core.Config{
+		Mode:    core.ModePrune,
+		Workers: *workers,
+		MC:      mc.Options{Symmetry: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s: %d holes, candidate space %d\n", skeleton.Name(), out.Stats.Holes, out.Stats.CandidateSpace)
+	fmt.Printf("evaluated %d candidates (%d pruned via %d patterns) in %v\n",
+		out.Stats.Evaluated, out.Stats.Skipped, out.Stats.Patterns, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("solutions: %d\n", len(out.Solutions))
+	for i, sol := range out.Solutions {
+		fmt.Printf("  #%d (%d states): %s\n", i+1, sol.VisitedStates, out.Describe(i))
+	}
+	fmt.Println("\nAll solutions agree on the load-bearing actions; they differ only in")
+	fmt.Println("vacuous choices (invalidating an empty sharer set), which is exactly the")
+	fmt.Println("behaviourally-equivalent solution grouping §III describes.")
+}

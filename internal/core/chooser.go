@@ -1,0 +1,65 @@
+package core
+
+import (
+	"verc3/internal/ts"
+)
+
+// runChooser resolves holes for one model-checking run. It implements
+// ts.Chooser (hole resolution) and mc.UsageTracker (per-firing usage masks
+// for trace-generalized pruning).
+//
+// assign is the candidate configuration vector for this run, indexed by hole
+// discovery index; holes with index >= len(assign) were discovered after the
+// candidate was drawn (or during this very run) and take the default action:
+// the wildcard under ModePrune, action 0 under ModeNaive.
+type runChooser struct {
+	reg    *registry
+	assign []int
+	naive  bool
+
+	fireMask uint64 // holes consulted since last ResetUsage
+	runMask  uint64 // holes consulted at any point in the run
+	overflow bool   // a hole with index >= 64 was consulted
+}
+
+// Choose implements ts.Chooser.
+func (rc *runChooser) Choose(hole string, actions []string) (int, error) {
+	h, err := rc.reg.discover(hole, actions)
+	if err != nil {
+		return 0, err
+	}
+	if h.index < 64 {
+		rc.fireMask |= 1 << uint(h.index)
+		rc.runMask |= 1 << uint(h.index)
+	} else {
+		rc.overflow = true
+	}
+	if h.index < len(rc.assign) {
+		a := rc.assign[h.index]
+		if a == Wildcard {
+			return 0, ts.ErrWildcard
+		}
+		if a < 0 || a >= len(h.actions) {
+			panic("core: assignment out of range for hole " + hole)
+		}
+		return a, nil
+	}
+	// Hole discovered after this candidate was drawn.
+	if rc.naive {
+		return 0, nil // lazy discovery: continue with the default action
+	}
+	return 0, ts.ErrWildcard
+}
+
+// ResetUsage implements mc.UsageTracker.
+func (rc *runChooser) ResetUsage() { rc.fireMask = 0 }
+
+// Usage implements mc.UsageTracker.
+func (rc *runChooser) Usage() uint64 {
+	if rc.overflow {
+		// Too many holes for exact masks: saturate so callers fall back to
+		// full-vector pruning (always sound).
+		return ^uint64(0)
+	}
+	return rc.fireMask
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"verc3/internal/mc"
+	"verc3/internal/ts"
+)
+
+// Mode selects the synthesis strategy.
+type Mode int
+
+const (
+	// ModePrune is the paper's contribution: wildcard defaults plus the
+	// candidate-pruning lookup table.
+	ModePrune Mode = iota
+	// ModeNaive is the baseline enumeration: newly discovered holes take a
+	// concrete default action (index 0) so the model checker always runs to
+	// completion, and every combination of discovered hole actions is
+	// dispatched.
+	ModeNaive
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == ModeNaive {
+		return "naive"
+	}
+	return "prune"
+}
+
+// PruneStyle selects how failing candidates become pruning patterns.
+type PruneStyle int
+
+const (
+	// PruneFullVector inserts the entire enumerated candidate configuration
+	// (bound prefix; trailing wildcards stripped), exactly as the paper
+	// describes ("the current candidate (including known wildcards) is
+	// entered into the lookup-table").
+	PruneFullVector PruneStyle = iota
+	// PruneTraceGeneralized binds only the holes actually consulted on the
+	// minimal error trace (the paper's executed subset Ct), wildcarding the
+	// rest. Strictly more pruning; an extension benchmarked in the ablation.
+	PruneTraceGeneralized
+)
+
+// String returns the prune-style name.
+func (p PruneStyle) String() string {
+	if p == PruneTraceGeneralized {
+		return "trace-generalized"
+	}
+	return "full-vector"
+}
+
+// Config configures Synthesize.
+type Config struct {
+	// Mode selects pruning (default) or the naive baseline.
+	Mode Mode
+	// PruneStyle selects the pattern-generalization policy (ModePrune only).
+	PruneStyle PruneStyle
+	// Workers is the number of parallel synthesis workers (default 1).
+	// ModeNaive is inherently sequential (its candidate vector grows during
+	// enumeration) and requires Workers <= 1.
+	Workers int
+	// MC carries the base model-checker options (symmetry, state caps,
+	// deadlock checking, search order). Env, Usage and RecordTrace are
+	// managed by the engine and must be left zero.
+	MC mc.Options
+	// MaxEvaluations, when positive, stops synthesis after that many
+	// model-checker dispatches (Stats.Truncated is set). Used to run scaled
+	// versions of experiments whose full runs take hours.
+	MaxEvaluations int64
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+	// OnEvaluate, when non-nil, receives an Event after every model-checker
+	// dispatch. With Workers > 1 events arrive concurrently (the callback
+	// must be safe) and pattern/hole counts reflect a racy snapshot; with
+	// one worker the stream is the exact evaluation order, which is how the
+	// paper's Figure 2 run table is regenerated.
+	OnEvaluate func(Event)
+}
+
+// Event describes one candidate evaluation (see Config.OnEvaluate).
+type Event struct {
+	// Assign is the candidate configuration that was dispatched (indexed by
+	// hole discovery order; holes discovered during this very run are not
+	// included — compare Holes).
+	Assign []int
+	// Verdict is the model checker's three-valued result.
+	Verdict mc.Verdict
+	// Holes is the number of holes discovered so far (after this run).
+	Holes int
+	// Patterns is the pruning-pattern count after this run.
+	Patterns int
+	// VisitedStates is the number of states this run explored.
+	VisitedStates int
+}
+
+// Solution is one correctly verified candidate.
+type Solution struct {
+	// Assign maps hole index (discovery order) to action index.
+	Assign []int
+	// VisitedStates is the number of states the verifying run explored. The
+	// paper uses this to group behaviourally equivalent solutions.
+	VisitedStates int
+}
+
+// Stats aggregates a synthesis run.
+type Stats struct {
+	// Holes is the number of holes discovered.
+	Holes int
+	// CandidateSpace is the nominal candidate count: the product of action
+	// counts over discovered holes, including the wildcard action in
+	// ModePrune (Table I "Candidates" column). Saturates at MaxUint64.
+	CandidateSpace uint64
+	// Evaluated counts candidates dispatched to the model checker
+	// (Table I "Evaluated").
+	Evaluated int64
+	// Skipped counts concrete candidates ruled out by pruning patterns
+	// without model checking.
+	Skipped int64
+	// Patterns is the number of pruning patterns inserted
+	// (Table I "Pruning Patterns").
+	Patterns int
+	// Successes, Failures, Unknowns count per-verdict dispatches.
+	Successes, Failures, Unknowns int64
+	// TotalVisitedStates sums visited states over all dispatches.
+	TotalVisitedStates int64
+	// Rounds is the number of prefix-expansion rounds (ModePrune).
+	Rounds int
+	// Truncated reports that MaxEvaluations stopped the run early.
+	Truncated bool
+	// Elapsed is the wall-clock synthesis time.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of Synthesize.
+type Result struct {
+	// Solutions lists the correctly verified candidates, sorted by
+	// assignment. Empty if the skeleton has no solution (or the model is
+	// inherently faulty).
+	Solutions []Solution
+	// HoleNames and HoleActions describe the discovered holes in discovery
+	// order.
+	HoleNames   []string
+	HoleActions [][]string
+	Stats       Stats
+}
+
+// Describe renders solution i in the paper's ⟨hole@action⟩ notation.
+func (r *Result) Describe(i int) string {
+	holes := make([]*holeInfo, len(r.HoleNames))
+	for j := range holes {
+		holes[j] = &holeInfo{name: r.HoleNames[j], actions: r.HoleActions[j], index: j}
+	}
+	return formatAssign(r.Solutions[i].Assign, holes)
+}
+
+type engine struct {
+	sys      ts.System
+	cfg      Config
+	reg      *registry
+	patterns *patternTable
+
+	evaluated  atomic.Int64
+	skipped    atomic.Int64
+	successes  atomic.Int64
+	failures   atomic.Int64
+	unknowns   atomic.Int64
+	totalSeen  atomic.Int64
+	stop       atomic.Bool // MaxEvaluations reached
+	fatal      atomic.Pointer[errBox]
+	solMu      sync.Mutex
+	solutions  map[string]Solution
+	traceGen   bool
+	checkCount atomic.Int64 // dispatch admission counter for MaxEvaluations
+	lastK      int          // prefix size of the previous round (-1 before any)
+}
+
+type errBox struct{ err error }
+
+// Synthesize completes the holes of the skeleton system sys.
+//
+// sys must be stateless: Transitions and all guards/actions may be invoked
+// concurrently (from Workers goroutines) and must derive successors only by
+// cloning, never by mutating shared structures.
+func Synthesize(sys ts.System, cfg Config) (*Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Mode == ModeNaive && cfg.Workers > 1 {
+		return nil, fmt.Errorf("core: ModeNaive is sequential; got Workers=%d", cfg.Workers)
+	}
+	if cfg.MC.Env != nil || cfg.MC.Usage != nil || cfg.MC.RecordTrace {
+		return nil, fmt.Errorf("core: Config.MC must not set Env, Usage or RecordTrace")
+	}
+	e := &engine{
+		sys:       sys,
+		cfg:       cfg,
+		reg:       newRegistry(),
+		patterns:  newPatternTable(),
+		solutions: make(map[string]Solution),
+		traceGen:  cfg.Mode == ModePrune && cfg.PruneStyle == PruneTraceGeneralized,
+	}
+	start := time.Now()
+	var err error
+	var rounds int
+	if cfg.Mode == ModeNaive {
+		err = e.runNaive()
+	} else {
+		rounds, err = e.runPrune()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if eb := e.fatal.Load(); eb != nil {
+		return nil, eb.err
+	}
+	return e.result(rounds, time.Since(start)), nil
+}
+
+func (e *engine) logf(format string, args ...any) {
+	if e.cfg.Log != nil {
+		e.cfg.Log(format, args...)
+	}
+}
+
+// admit reserves one evaluation slot, honouring MaxEvaluations.
+func (e *engine) admit() bool {
+	if e.cfg.MaxEvaluations <= 0 {
+		return true
+	}
+	if e.checkCount.Add(1) > e.cfg.MaxEvaluations {
+		e.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+// dispatch model-checks one candidate configuration.
+func (e *engine) dispatch(assign []int) {
+	rc := &runChooser{reg: e.reg, assign: assign, naive: e.cfg.Mode == ModeNaive}
+	opt := e.cfg.MC
+	opt.Env = ts.NewEnv(rc)
+	if e.traceGen {
+		opt.Usage = rc
+	}
+	res, err := mc.Check(e.sys, opt)
+	if err != nil {
+		e.fatal.CompareAndSwap(nil, &errBox{err: err})
+		e.stop.Store(true)
+		return
+	}
+	e.evaluated.Add(1)
+	e.totalSeen.Add(int64(res.Stats.VisitedStates))
+	switch res.Verdict {
+	case mc.Success:
+		e.successes.Add(1)
+		if n := e.reg.count(); rc.naive && len(assign) < n {
+			// Holes discovered during this very run executed with the
+			// default action (index 0); the verified candidate includes
+			// those bindings. (Under ModePrune such holes would have
+			// wildcard-aborted, making Success impossible, so no padding
+			// is needed there.)
+			padded := make([]int, n)
+			copy(padded, assign)
+			assign = padded
+		}
+		e.recordSolution(assign, res.Stats.VisitedStates)
+	case mc.Failure:
+		e.failures.Add(1)
+		if e.cfg.Mode == ModePrune {
+			e.insertPattern(assign, res.Failure)
+		}
+	case mc.Unknown:
+		e.unknowns.Add(1)
+	}
+	if e.cfg.OnEvaluate != nil {
+		e.cfg.OnEvaluate(Event{
+			Assign:        append([]int(nil), assign...),
+			Verdict:       res.Verdict,
+			Holes:         e.reg.count(),
+			Patterns:      e.patterns.Len(),
+			VisitedStates: res.Stats.VisitedStates,
+		})
+	}
+}
+
+func (e *engine) recordSolution(assign []int, visited int) {
+	sol := Solution{Assign: append([]int(nil), assign...), VisitedStates: visited}
+	key := fmt.Sprint(sol.Assign)
+	e.solMu.Lock()
+	if _, dup := e.solutions[key]; !dup {
+		e.solutions[key] = sol
+		e.logf("solution %s (%d states)", formatAssign(sol.Assign, e.reg.holes()), visited)
+	}
+	e.solMu.Unlock()
+}
+
+// insertPattern memoizes a candidate failure.
+func (e *engine) insertPattern(assign []int, f *mc.FailureInfo) {
+	pat := append([]int(nil), assign...)
+	if e.traceGen && f.UsageMask != ^uint64(0) {
+		for i := range pat {
+			if i < 64 && f.UsageMask&(1<<uint(i)) == 0 {
+				pat[i] = Wildcard
+			}
+		}
+	}
+	e.patterns.Insert(pat)
+}
+
+// runNaive is the baseline: enumerate the full product of discovered hole
+// actions, growing the candidate vector as holes are discovered (appended
+// least-significant with the same default, index 0, the run itself used).
+func (e *engine) runNaive() error {
+	var assign []int
+	for {
+		if !e.admit() {
+			return nil
+		}
+		e.dispatch(assign)
+		if e.stop.Load() {
+			return nil
+		}
+		holes := e.reg.holes()
+		for len(assign) < len(holes) {
+			assign = append(assign, 0)
+		}
+		if len(assign) == 0 {
+			return nil // complete model: single run
+		}
+		if !incr(assign, radices(holes, len(assign))) {
+			return nil
+		}
+	}
+}
+
+// runPrune is the paper's synthesis procedure: an initial empty-candidate
+// run discovers the first holes; then rounds of exhaustive enumeration over
+// the non-wildcard prefix, with the prefix expanding to cover newly
+// discovered holes only after the current prefix is exhausted ("once a hole
+// has been used as a non-wildcard, it cannot be a wildcard again").
+func (e *engine) runPrune() (rounds int, err error) {
+	if e.admit() {
+		e.dispatch(nil) // the empty candidate
+	}
+	e.lastK = -1
+	for !e.stop.Load() {
+		k := e.reg.count()
+		if k == e.lastK {
+			break // no new holes discovered in the last round
+		}
+		if k == 0 {
+			break // complete model (or inherently faulty): nothing to enumerate
+		}
+		holes := e.reg.holes()
+		sizes := radices(holes, k)
+		e.lastK = k
+		rounds++
+		e.logf("round %d: enumerating %d holes (%d combinations, %d patterns)",
+			rounds, k, spaceSize(sizes), e.patterns.Len())
+		e.enumerateRound(sizes)
+	}
+	return rounds, nil
+}
+
+// enumerateRound exhausts all combinations over the prefix sizes, splitting
+// the index space across Workers.
+func (e *engine) enumerateRound(sizes []int) {
+	total := spaceSize(sizes)
+	if total >= math.MaxUint64/2 {
+		// The candidate space does not fit in index arithmetic (spaceSize
+		// saturates and stride products would wrap). Fall back to the
+		// index-free odometer: such spaces are only traversable at all
+		// because pruning skips almost everything, so the lost parallel
+		// chunking is irrelevant next to correctness.
+		e.enumerateOdometer(sizes)
+		return
+	}
+	workers := e.cfg.Workers
+	if total < uint64(workers) {
+		workers = int(total)
+	}
+	if workers <= 1 {
+		e.enumerateRange(0, total, sizes)
+		return
+	}
+	var cursor atomic.Uint64
+	chunk := total / uint64(workers*16)
+	if chunk == 0 {
+		chunk = 1
+	}
+	if chunk > 65536 {
+		chunk = 65536
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !e.stop.Load() {
+				hi := cursor.Add(chunk)
+				lo := hi - chunk
+				if lo >= total {
+					return
+				}
+				if hi > total {
+					hi = total
+				}
+				e.enumerateRange(lo, hi, sizes)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// enumerateOdometer walks the whole prefix space without numeric indices,
+// skipping pruned subtrees by direct digit advancement. Sequential; used
+// only when the space size overflows uint64.
+func (e *engine) enumerateOdometer(sizes []int) {
+	assign := make([]int, len(sizes))
+	for !e.stop.Load() {
+		if matched, d := e.patterns.Match(assign); matched {
+			e.skipped.Add(1) // subtree sizes are uncountable here; count events
+			if d < 0 {
+				return // empty pattern: everything is pruned
+			}
+			if !advanceAt(assign, sizes, d) {
+				return
+			}
+			continue
+		}
+		if !e.admit() {
+			return
+		}
+		e.dispatch(assign)
+		if !incr(assign, sizes) {
+			return
+		}
+	}
+}
+
+// enumerateRange evaluates candidate indices [lo, hi), skipping pruned
+// subtrees.
+func (e *engine) enumerateRange(lo, hi uint64, sizes []int) {
+	assign := make([]int, len(sizes))
+	for idx := lo; idx < hi && !e.stop.Load(); {
+		decode(idx, sizes, assign)
+		if matched, d := e.patterns.Match(assign); matched {
+			next := subtreeEnd(idx, sizes, d)
+			if next > hi {
+				next = hi
+			}
+			e.skipped.Add(int64(next - idx))
+			idx = next
+			continue
+		}
+		if !e.admit() {
+			return
+		}
+		e.dispatch(assign)
+		idx++
+	}
+}
+
+func (e *engine) result(rounds int, elapsed time.Duration) *Result {
+	holes := e.reg.holes()
+	r := &Result{
+		HoleNames:   make([]string, len(holes)),
+		HoleActions: make([][]string, len(holes)),
+	}
+	for i, h := range holes {
+		r.HoleNames[i] = h.name
+		r.HoleActions[i] = append([]string(nil), h.actions...)
+	}
+	for _, s := range e.solutions {
+		r.Solutions = append(r.Solutions, s)
+	}
+	sort.Slice(r.Solutions, func(i, j int) bool {
+		a, b := r.Solutions[i].Assign, r.Solutions[j].Assign
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	space := spaceSize(radices(holes, len(holes)))
+	if e.cfg.Mode == ModePrune {
+		space = spaceSizePlusWildcard(holes)
+	}
+	r.Stats = Stats{
+		Holes:              len(holes),
+		CandidateSpace:     space,
+		Evaluated:          e.evaluated.Load(),
+		Skipped:            e.skipped.Load(),
+		Patterns:           e.patterns.Len(),
+		Successes:          e.successes.Load(),
+		Failures:           e.failures.Load(),
+		Unknowns:           e.unknowns.Load(),
+		TotalVisitedStates: e.totalSeen.Load(),
+		Rounds:             rounds,
+		Truncated:          e.stop.Load() && e.fatal.Load() == nil && e.cfg.MaxEvaluations > 0,
+		Elapsed:            elapsed,
+	}
+	return r
+}

@@ -1,0 +1,100 @@
+package core
+
+import "math"
+
+// The enumerator treats a candidate configuration as a mixed-radix number
+// over the prefix of non-wildcard holes, with the first-discovered hole as
+// the most significant digit. This matches the paper's worked example
+// (Fig. 2): hole 1 advances slowest, newly discovered holes are appended as
+// least-significant digits.
+
+// radices returns the per-hole action counts for the first k discovered
+// holes.
+func radices(holes []*holeInfo, k int) []int {
+	sizes := make([]int, k)
+	for i := 0; i < k; i++ {
+		sizes[i] = len(holes[i].actions)
+	}
+	return sizes
+}
+
+// spaceSize returns the product of sizes, saturating at math.MaxUint64.
+func spaceSize(sizes []int) uint64 {
+	total := uint64(1)
+	for _, s := range sizes {
+		if s == 0 {
+			return 0
+		}
+		us := uint64(s)
+		if total > math.MaxUint64/us {
+			return math.MaxUint64
+		}
+		total *= us
+	}
+	return total
+}
+
+// spaceSizePlusWildcard returns the product of (size+1) over all holes: the
+// nominal candidate space including the wildcard action, which is what the
+// paper's Table I reports in the "Candidates" column for pruning runs.
+func spaceSizePlusWildcard(holes []*holeInfo) uint64 {
+	sizes := make([]int, len(holes))
+	for i, h := range holes {
+		sizes[i] = len(h.actions) + 1
+	}
+	return spaceSize(sizes)
+}
+
+// decode writes the mixed-radix digits of idx into assign (len(sizes)
+// digits, most significant first).
+func decode(idx uint64, sizes []int, assign []int) {
+	for i := len(sizes) - 1; i >= 0; i-- {
+		s := uint64(sizes[i])
+		assign[i] = int(idx % s)
+		idx /= s
+	}
+}
+
+// stride returns the size of the subtree below digit position d: the number
+// of consecutive indices sharing digits 0..d. For d == -1 (a match at the
+// root, i.e. an empty pattern) the stride is the whole space.
+func stride(sizes []int, d int) uint64 {
+	st := uint64(1)
+	for i := d + 1; i < len(sizes); i++ {
+		st *= uint64(sizes[i])
+	}
+	return st
+}
+
+// subtreeEnd returns the first index after idx whose digit at position d
+// differs, i.e. the end of the pruned subtree when a pattern match became
+// certain at digit d.
+func subtreeEnd(idx uint64, sizes []int, d int) uint64 {
+	st := stride(sizes, d)
+	return (idx/st + 1) * st
+}
+
+// incr advances assign (mixed-radix, least-significant digit last) by one.
+// It reports false when the odometer wraps (enumeration complete). sizes
+// must have the same length as assign.
+func incr(assign []int, sizes []int) bool {
+	return advanceAt(assign, sizes, len(assign)-1)
+}
+
+// advanceAt zeroes the digits below position d and increments at d (with
+// carry towards more significant digits): the odometer equivalent of
+// subtreeEnd, usable when the candidate space does not fit in a uint64. It
+// reports false when the odometer wraps.
+func advanceAt(assign []int, sizes []int, d int) bool {
+	for i := d + 1; i < len(assign); i++ {
+		assign[i] = 0
+	}
+	for i := d; i >= 0; i-- {
+		assign[i]++
+		if assign[i] < sizes[i] {
+			return true
+		}
+		assign[i] = 0
+	}
+	return false
+}

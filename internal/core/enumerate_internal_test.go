@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeIncrAgree: decoding consecutive indices equals repeated
+// odometer increments (hole 0 most significant, as in Figure 2).
+func TestDecodeIncrAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(4)
+		}
+		total := spaceSize(sizes)
+		odo := make([]int, n)
+		dec := make([]int, n)
+		for idx := uint64(0); idx < total; idx++ {
+			decode(idx, sizes, dec)
+			for i := range odo {
+				if odo[i] != dec[i] {
+					return false
+				}
+			}
+			if !incr(odo, sizes) && idx != total-1 {
+				return false // wrapped early
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubtreeEnd checks skip arithmetic: the next index after a match at
+// depth d is the first one whose digits 0..d differ.
+func TestSubtreeEnd(t *testing.T) {
+	sizes := []int{3, 2, 4}
+	// idx 13 = (1, 1, 1); subtree at depth 1 covers (1,1,*): ends at 16.
+	if got := subtreeEnd(13, sizes, 1); got != 16 {
+		t.Errorf("subtreeEnd(13, d=1) = %d, want 16", got)
+	}
+	// depth 0: (1,*,*) ends at 16 too (1*8..2*8).
+	if got := subtreeEnd(13, sizes, 0); got != 16 {
+		t.Errorf("subtreeEnd(13, d=0) = %d, want 16", got)
+	}
+	// depth -1 (root match): everything is pruned.
+	if got := subtreeEnd(13, sizes, -1); got != 24 {
+		t.Errorf("subtreeEnd(13, d=-1) = %d, want 24", got)
+	}
+	// depth 2 (deepest digit): stride 1.
+	if got := subtreeEnd(13, sizes, 2); got != 14 {
+		t.Errorf("subtreeEnd(13, d=2) = %d, want 14", got)
+	}
+}
+
+// TestSubtreeEndProperty: every index in [idx, subtreeEnd) shares digits
+// 0..d with idx, and subtreeEnd itself does not.
+func TestSubtreeEndProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(3)
+		}
+		total := spaceSize(sizes)
+		idx := uint64(rng.Int63n(int64(total)))
+		d := rng.Intn(n)
+		end := subtreeEnd(idx, sizes, d)
+		base := make([]int, n)
+		decode(idx, sizes, base)
+		cur := make([]int, n)
+		for j := idx; j < end && j < total; j++ {
+			decode(j, sizes, cur)
+			for i := 0; i <= d; i++ {
+				if cur[i] != base[i] {
+					return false
+				}
+			}
+		}
+		if end < total {
+			decode(end, sizes, cur)
+			same := true
+			for i := 0; i <= d; i++ {
+				if cur[i] != base[i] {
+					same = false
+				}
+			}
+			if same {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceSizeSaturation checks overflow saturates rather than wrapping.
+func TestSpaceSizeSaturation(t *testing.T) {
+	sizes := make([]int, 20)
+	for i := range sizes {
+		sizes[i] = 1 << 10
+	}
+	if got := spaceSize(sizes); got != math.MaxUint64 {
+		t.Errorf("spaceSize = %d, want saturation", got)
+	}
+	if got := spaceSize([]int{3, 0, 5}); got != 0 {
+		t.Errorf("spaceSize with empty dimension = %d, want 0", got)
+	}
+	if got := spaceSize(nil); got != 1 {
+		t.Errorf("spaceSize(nil) = %d, want 1 (empty product)", got)
+	}
+}
+
+// TestSpacePlusWildcard pins the paper's Table I candidate arithmetic:
+// MSI-small 192²·32 and MSI-large 192²·32³.
+func TestSpacePlusWildcard(t *testing.T) {
+	mk := func(sizes ...int) []*holeInfo {
+		hs := make([]*holeInfo, len(sizes))
+		for i, s := range sizes {
+			hs[i] = &holeInfo{actions: make([]string, s)}
+		}
+		return hs
+	}
+	// MSI-small: 2 dir rules (5,7,3) + 1 cache rule (3,7).
+	small := mk(5, 7, 3, 5, 7, 3, 3, 7)
+	if got := spaceSizePlusWildcard(small); got != 1179648 {
+		t.Errorf("small wildcard space = %d, want 1179648", got)
+	}
+	if got := spaceSize(radices(small, len(small))); got != 231525 {
+		t.Errorf("small naive space = %d, want 231525", got)
+	}
+	// MSI-large: + 2 cache rules.
+	large := mk(5, 7, 3, 5, 7, 3, 3, 7, 3, 7, 3, 7)
+	if got := spaceSizePlusWildcard(large); got != 1207959552 {
+		t.Errorf("large wildcard space = %d, want 1207959552", got)
+	}
+	if got := spaceSize(radices(large, len(large))); got != 102102525 {
+		t.Errorf("large naive space = %d, want 102102525", got)
+	}
+}

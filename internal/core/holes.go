@@ -1,0 +1,103 @@
+// Package core implements the paper's primary contribution: explicit-state
+// synthesis of concurrent systems with lazy hole discovery and candidate
+// pruning.
+//
+// Given a protocol skeleton (a ts.System whose transition actions call
+// Env.Choose at each hole) and, per hole, a designer-provided library of
+// candidate actions, the engine enumerates candidate configurations — one
+// action per hole — and dispatches each completed candidate to the embedded
+// explicit-state model checker (internal/mc). Holes are discovered lazily,
+// in the order the model checker first reaches them, so holes unreachable
+// under a given skeleton never enter the search space.
+//
+// With pruning enabled (the paper's key optimization), undiscovered and
+// not-yet-enumerated holes carry a wildcard default action that aborts the
+// execution branch reaching them; a run that fails therefore owes its
+// minimal error trace only to the bound holes, and the failing candidate
+// configuration becomes a pruning pattern that rules out every extension
+// without further model checking.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcard is the assignment value denoting the wildcard ("?") action.
+const Wildcard = -1
+
+// holeInfo describes one discovered hole.
+type holeInfo struct {
+	name    string
+	actions []string
+	index   int // discovery order, 0-based
+}
+
+// registrySnapshot is an immutable view of the discovered holes; the common
+// case (looking up an already-discovered hole) reads it without locking, as
+// the paper's parallel-synthesis section prescribes.
+type registrySnapshot struct {
+	byName map[string]*holeInfo
+	order  []*holeInfo
+}
+
+// registry is the shared, thread-safe hole registry ("global candidate
+// vector" in the paper: it registers newly discovered holes during parallel
+// evaluation; enumeration ranges are derived from it between rounds).
+type registry struct {
+	snap atomic.Pointer[registrySnapshot]
+	mu   sync.Mutex // serializes discovery (copy-on-write publish)
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	r.snap.Store(&registrySnapshot{byName: map[string]*holeInfo{}})
+	return r
+}
+
+// lookup returns the hole by name, or nil. Lock-free.
+func (r *registry) lookup(name string) *holeInfo {
+	return r.snap.Load().byName[name]
+}
+
+// discover registers a hole on first encounter and returns it. Concurrent
+// discoveries of the same hole converge on one entry. The action list is
+// validated against prior discoveries: a hole's arity is fixed by the model.
+func (r *registry) discover(name string, actions []string) (*holeInfo, error) {
+	if h := r.lookup(name); h != nil {
+		if len(h.actions) != len(actions) {
+			return nil, fmt.Errorf("core: hole %q redeclared with %d actions (was %d)", name, len(actions), len(h.actions))
+		}
+		return h, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	if h, ok := old.byName[name]; ok { // raced with another discoverer
+		if len(h.actions) != len(actions) {
+			return nil, fmt.Errorf("core: hole %q redeclared with %d actions (was %d)", name, len(actions), len(h.actions))
+		}
+		return h, nil
+	}
+	if len(actions) == 0 {
+		return nil, fmt.Errorf("core: hole %q declared with no actions", name)
+	}
+	h := &holeInfo{name: name, actions: append([]string(nil), actions...), index: len(old.order)}
+	nb := make(map[string]*holeInfo, len(old.byName)+1)
+	for k, v := range old.byName {
+		nb[k] = v
+	}
+	nb[name] = h
+	no := make([]*holeInfo, len(old.order), len(old.order)+1)
+	copy(no, old.order)
+	no = append(no, h)
+	r.snap.Store(&registrySnapshot{byName: nb, order: no})
+	return h, nil
+}
+
+// holes returns the current discovery-ordered hole list (immutable snapshot).
+func (r *registry) holes() []*holeInfo { return r.snap.Load().order }
+
+// count returns the number of discovered holes.
+func (r *registry) count() int { return len(r.snap.Load().order) }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryDiscoveryOrder checks holes index in first-seen order and
+// lookups return the same instance.
+func TestRegistryDiscoveryOrder(t *testing.T) {
+	r := newRegistry()
+	a, err := r.discover("a", []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.discover("b", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.index != 0 || b.index != 1 {
+		t.Errorf("indices = %d, %d", a.index, b.index)
+	}
+	again, err := r.discover("a", []string{"x", "y"})
+	if err != nil || again != a {
+		t.Errorf("rediscovery returned %p (%v), want %p", again, err, a)
+	}
+	if r.lookup("a") != a || r.lookup("zz") != nil {
+		t.Error("lookup misbehaves")
+	}
+	if r.count() != 2 {
+		t.Errorf("count = %d", r.count())
+	}
+}
+
+// TestRegistryArityValidation: a hole's arity is fixed at first discovery.
+func TestRegistryArityValidation(t *testing.T) {
+	r := newRegistry()
+	if _, err := r.discover("a", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.discover("a", []string{"x"}); err == nil {
+		t.Error("want arity error")
+	}
+	if _, err := r.discover("b", nil); err == nil {
+		t.Error("want empty-actions error")
+	}
+}
+
+// TestRegistryConcurrentDiscovery hammers the copy-on-write publish path:
+// many goroutines racing to discover overlapping hole sets must converge on
+// one entry per name with dense, unique indices. Run with -race.
+func TestRegistryConcurrentDiscovery(t *testing.T) {
+	r := newRegistry()
+	const goroutines = 16
+	const holes = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < holes; i++ {
+				name := fmt.Sprintf("h%d", (i+g)%holes)
+				h, err := r.discover(name, []string{"a", "b"})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := r.lookup(name); got != h {
+					errs <- fmt.Errorf("lookup(%s) returned different instance", name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if r.count() != holes {
+		t.Fatalf("count = %d, want %d", r.count(), holes)
+	}
+	seen := map[int]bool{}
+	for _, h := range r.holes() {
+		if seen[h.index] {
+			t.Fatalf("duplicate index %d", h.index)
+		}
+		seen[h.index] = true
+		if h.index < 0 || h.index >= holes {
+			t.Fatalf("index %d out of range", h.index)
+		}
+	}
+}
+
+// TestRunChooserUsageMask checks fire/run mask accounting and the overflow
+// saturation contract.
+func TestRunChooserUsageMask(t *testing.T) {
+	r := newRegistry()
+	rc := &runChooser{reg: r, assign: []int{0, 1}}
+	if _, err := r.discover("a", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.discover("b", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	rc.ResetUsage()
+	if _, err := rc.Choose("b", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Usage() != 0b10 {
+		t.Errorf("usage = %b, want 10", rc.Usage())
+	}
+	rc.ResetUsage()
+	if rc.Usage() != 0 {
+		t.Error("reset did not clear")
+	}
+	rc.overflow = true
+	if rc.Usage() != ^uint64(0) {
+		t.Error("overflow must saturate")
+	}
+}
+
+// TestRunChooserWildcardPaths checks assigned, wildcard-assigned and
+// undiscovered holes resolve per mode.
+func TestRunChooserWildcardPaths(t *testing.T) {
+	r := newRegistry()
+	rc := &runChooser{reg: r, assign: []int{1, Wildcard}}
+	if got, err := rc.Choose("a", []string{"x", "y"}); err != nil || got != 1 {
+		t.Errorf("assigned: %d, %v", got, err)
+	}
+	if _, err := rc.Choose("b", []string{"x"}); err == nil {
+		t.Error("wildcard-assigned hole must abort")
+	}
+	if _, err := rc.Choose("c", []string{"x"}); err == nil {
+		t.Error("undiscovered hole must abort in prune mode")
+	}
+	naive := &runChooser{reg: newRegistry(), naive: true}
+	if got, err := naive.Choose("fresh", []string{"x", "y"}); err != nil || got != 0 {
+		t.Errorf("naive fresh hole: %d, %v (want default 0)", got, err)
+	}
+}

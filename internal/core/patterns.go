@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"sync"
+)
+
+// patternTable is the dynamic-programming lookup table of candidate pruning
+// patterns. A pattern is a partial assignment of holes to actions; any
+// candidate that agrees with a pattern on all of its bound positions is
+// certain to fail with the same (minimal) error trace and is skipped without
+// model checking.
+//
+// Patterns are stored in a trie over hole positions 0,1,2,… where each edge
+// is either a concrete action index or a wildcard. Full-vector pruning (the
+// paper's scheme) inserts the failing candidate's enumerated prefix with its
+// trailing wildcards stripped, yielding pure prefix patterns;
+// trace-generalized pruning (our extension, licensed by the paper's own
+// Ct ⊆ C lemma) may leave interior wildcards.
+//
+// The table is shared between synthesis workers: the paper notes that each
+// thread can use another thread's freshly registered patterns as soon as
+// they become available, which is why single- and multi-threaded runs
+// evaluate slightly different candidate counts.
+type patternTable struct {
+	mu   sync.RWMutex
+	root *patNode
+	n    int // number of patterns inserted
+}
+
+type patNode struct {
+	terminal bool
+	wild     *patNode
+	kids     map[int]*patNode
+}
+
+func newPatternTable() *patternTable {
+	return &patternTable{root: &patNode{}}
+}
+
+// Len returns the number of patterns inserted.
+func (t *patternTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// Insert adds a pattern. assign is indexed by hole position; Wildcard
+// entries are unconstrained. Trailing wildcards are stripped (they carry no
+// constraint). Inserting a fully-wildcard pattern would prune everything and
+// indicates an inherently faulty skeleton; it is stored as such and Match
+// will then return true for every candidate, which the engine surfaces as
+// "skeleton has no solutions".
+func (t *patternTable) Insert(assign []int) {
+	end := len(assign)
+	for end > 0 && assign[end-1] == Wildcard {
+		end--
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node := t.root
+	for i := 0; i < end; i++ {
+		if node.terminal {
+			return // an existing, more general pattern subsumes this one
+		}
+		a := assign[i]
+		var next *patNode
+		if a == Wildcard {
+			if node.wild == nil {
+				node.wild = &patNode{}
+			}
+			next = node.wild
+		} else {
+			if node.kids == nil {
+				node.kids = make(map[int]*patNode)
+			}
+			next = node.kids[a]
+			if next == nil {
+				next = &patNode{}
+				node.kids[a] = next
+			}
+		}
+		node = next
+	}
+	if !node.terminal {
+		node.terminal = true
+		t.n++
+	}
+}
+
+// Match reports whether the candidate assignment (Wildcard entries allowed;
+// they only match pattern wildcards) matches any stored pattern, and if so
+// the depth after which the match became certain. Candidates agreeing with a
+// pattern on all bound positions are matched; matchDepth is the index of the
+// last bound position examined (so the enumerator can skip the whole subtree
+// below it). For a zero-length (root) match, matchDepth is -1.
+func (t *patternTable) Match(assign []int) (matched bool, matchDepth int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return matchRec(t.root, assign, 0, -1)
+}
+
+// matchRec walks the trie; last is the index of the deepest concrete
+// position bound by the pattern path taken so far.
+func matchRec(n *patNode, assign []int, i, last int) (bool, int) {
+	if n.terminal {
+		return true, last
+	}
+	if i >= len(assign) {
+		return false, 0
+	}
+	a := assign[i]
+	if a != Wildcard {
+		if n.kids != nil {
+			if k := n.kids[a]; k != nil {
+				if ok, d := matchRec(k, assign, i+1, i); ok {
+					return true, d
+				}
+			}
+		}
+	}
+	if n.wild != nil {
+		// A pattern wildcard matches any candidate value (including a
+		// candidate wildcard: the pattern's failure trace did not consult
+		// this hole, so the candidate's value there is irrelevant).
+		if ok, d := matchRec(n.wild, assign, i+1, last); ok {
+			return true, d
+		}
+	}
+	return false, 0
+}
+
+// formatAssign renders an assignment for logs and tests, in the paper's
+// ⟨1@A, 2@?⟩ notation (holes are 1-based in the paper's figures).
+func formatAssign(assign []int, holes []*holeInfo) string {
+	var b strings.Builder
+	b.WriteString("⟨")
+	for i, a := range assign {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		name := ""
+		if i < len(holes) {
+			name = holes[i].name
+		}
+		b.WriteString(name)
+		b.WriteString("@")
+		if a == Wildcard {
+			b.WriteString("?")
+		} else if i < len(holes) && a < len(holes[i].actions) {
+			b.WriteString(holes[i].actions[a])
+		} else {
+			b.WriteString("!")
+		}
+	}
+	b.WriteString("⟩")
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPatternInsertMatchBasics covers exact, prefix and wildcard matching.
+func TestPatternInsertMatchBasics(t *testing.T) {
+	tbl := newPatternTable()
+	tbl.Insert([]int{1, 0}) // binds holes 0,1
+
+	check := func(assign []int, want bool) {
+		t.Helper()
+		got, _ := tbl.Match(assign)
+		if got != want {
+			t.Errorf("Match(%v) = %v, want %v", assign, got, want)
+		}
+	}
+	check([]int{1, 0}, true)
+	check([]int{1, 0, 5}, true)      // extension still matches
+	check([]int{1, 1}, false)        // differs at bound position
+	check([]int{0, 0}, false)        //
+	check([]int{1}, false)           // shorter than the pattern's bound prefix
+	check([]int{1, Wildcard}, false) // candidate wildcard vs bound position
+}
+
+// TestPatternTrailingWildcardsStripped checks ⟨1@C, 2@?⟩ behaves as ⟨1@C⟩.
+func TestPatternTrailingWildcardsStripped(t *testing.T) {
+	tbl := newPatternTable()
+	tbl.Insert([]int{2, Wildcard, Wildcard})
+	if ok, d := tbl.Match([]int{2, 7, 9}); !ok || d != 0 {
+		t.Errorf("Match = %v at depth %d, want true at 0", ok, d)
+	}
+	if ok, _ := tbl.Match([]int{1, 7, 9}); ok {
+		t.Error("unexpected match")
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+// TestPatternInteriorWildcard covers trace-generalized patterns.
+func TestPatternInteriorWildcard(t *testing.T) {
+	tbl := newPatternTable()
+	tbl.Insert([]int{Wildcard, 3}) // only hole 1 is bound
+	if ok, d := tbl.Match([]int{9, 3}); !ok || d != 1 {
+		t.Errorf("Match = %v at %d, want true at 1", ok, d)
+	}
+	// A candidate with hole 0 still wildcard also matches: the pattern
+	// does not constrain hole 0.
+	if ok, _ := tbl.Match([]int{Wildcard, 3}); !ok {
+		t.Error("candidate wildcard should pass a pattern wildcard")
+	}
+	if ok, _ := tbl.Match([]int{9, 4}); ok {
+		t.Error("unexpected match")
+	}
+}
+
+// TestPatternSubsumption: inserting a more specific pattern after a general
+// one is a no-op.
+func TestPatternSubsumption(t *testing.T) {
+	tbl := newPatternTable()
+	tbl.Insert([]int{1})
+	tbl.Insert([]int{1, 2, 3}) // subsumed
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (subsumed insert)", tbl.Len())
+	}
+}
+
+// TestEmptyPatternPrunesEverything: an inherently faulty skeleton's empty
+// candidate becomes the match-all pattern.
+func TestEmptyPatternPrunesEverything(t *testing.T) {
+	tbl := newPatternTable()
+	tbl.Insert([]int{Wildcard, Wildcard})
+	if ok, d := tbl.Match([]int{4, 2}); !ok || d != -1 {
+		t.Errorf("Match = %v at %d, want true at -1 (root)", ok, d)
+	}
+}
+
+// TestMatchDepthDrivesSubtreeSkip checks the reported depth is the deepest
+// bound position, which the enumerator uses to size its skip stride.
+func TestMatchDepthDrivesSubtreeSkip(t *testing.T) {
+	tbl := newPatternTable()
+	tbl.Insert([]int{0, Wildcard, 5})
+	if ok, d := tbl.Match([]int{0, 9, 5, 1}); !ok || d != 2 {
+		t.Errorf("Match = %v at %d, want true at 2", ok, d)
+	}
+}
+
+// TestPatternSoundnessProperty is the key pruning-soundness check at the
+// data-structure level: any inserted pattern matches exactly the candidates
+// that agree on its bound positions.
+func TestPatternSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		arity := 2 + rng.Intn(3)
+		tbl := newPatternTable()
+		var pats [][]int
+		for p := 0; p < 1+rng.Intn(6); p++ {
+			pat := make([]int, 1+rng.Intn(n))
+			bound := false
+			for i := range pat {
+				if rng.Intn(3) == 0 {
+					pat[i] = Wildcard
+				} else {
+					pat[i] = rng.Intn(arity)
+					bound = true
+				}
+			}
+			if !bound {
+				continue // skip match-all patterns in this property
+			}
+			tbl.Insert(pat)
+			pats = append(pats, pat)
+		}
+		// Reference matcher.
+		ref := func(assign []int) bool {
+			for _, pat := range pats {
+				ok := true
+				for i, v := range pat {
+					if v == Wildcard {
+						continue
+					}
+					if i >= len(assign) || assign[i] != v {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return true
+				}
+			}
+			return false
+		}
+		for trial := 0; trial < 50; trial++ {
+			assign := make([]int, n)
+			for i := range assign {
+				assign[i] = rng.Intn(arity)
+			}
+			got, _ := tbl.Match(assign)
+			if got != ref(assign) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFormatAssign pins the ⟨…⟩ rendering.
+func TestFormatAssign(t *testing.T) {
+	holes := []*holeInfo{
+		{name: "h0", actions: []string{"A", "B"}},
+		{name: "h1", actions: []string{"X"}},
+	}
+	got := formatAssign([]int{1, Wildcard}, holes)
+	if got != "⟨h0@B, h1@?⟩" {
+		t.Errorf("formatAssign = %q", got)
+	}
+}

@@ -1,0 +1,202 @@
+// Package dsl is a lightweight, Murphi-flavoured frontend over internal/ts
+// — the "more ergonomic frontend DSL" the paper lists as future work.
+//
+// Instead of implementing the five-method ts.System interface by hand, a
+// model declares guarded rules, rulesets (rules replicated over a parameter
+// range, like Murphi's `ruleset i: cid do … end`), invariants and goals on a
+// Builder. Rule actions mutate a typed clone of the state in place — the
+// builder handles cloning, so the usual "Clone then cast then mutate then
+// return" boilerplate disappears:
+//
+//	b := dsl.NewBuilder[*myState]("my-system", initial)
+//	b.RuleSet(n, "p%d: request", // one rule per process
+//	    func(s *myState, i int) bool { return s.PC[i] == Idle },
+//	    func(s *myState, i int, env *ts.Env) error { s.PC[i] = Want; return nil })
+//	b.Invariant("mutex", func(s *myState) bool { … })
+//	sys := b.System()
+//
+// Holes work exactly as in raw ts models: call env.Choose inside an action
+// and return its error (wildcard aborts propagate through).
+package dsl
+
+import (
+	"fmt"
+
+	"verc3/internal/ts"
+)
+
+// Mutable is the state contract for the builder: a ts.State whose Clone
+// returns the same concrete type (enforced at rule-firing time).
+type Mutable interface {
+	ts.State
+}
+
+// Builder accumulates rules and properties, then freezes into a ts.System.
+type Builder[S Mutable] struct {
+	name    string
+	initial []ts.State
+	rules   []rule[S]
+	invs    []ts.Invariant
+	goals   []ts.ReachGoal
+	quiet   func(S) bool
+}
+
+type rule[S Mutable] struct {
+	name   func(s S) []string // instance names for enabled instances
+	expand func(s S) []ts.Transition
+}
+
+// NewBuilder starts a system with one or more initial states.
+func NewBuilder[S Mutable](name string, initial ...S) *Builder[S] {
+	if len(initial) == 0 {
+		panic("dsl: need at least one initial state")
+	}
+	b := &Builder[S]{name: name}
+	for _, s := range initial {
+		b.initial = append(b.initial, s)
+	}
+	return b
+}
+
+// clone copies s and asserts the concrete type survives Clone.
+func clone[S Mutable](s S) S {
+	c, ok := s.Clone().(S)
+	if !ok {
+		panic(fmt.Sprintf("dsl: %T.Clone() did not return %T", s, s))
+	}
+	return c
+}
+
+// Rule adds a guarded command: when guard(s) holds, the action may fire on a
+// clone of s. A nil guard is always enabled.
+func (b *Builder[S]) Rule(name string, guard func(S) bool, action func(S, *ts.Env) error) *Builder[S] {
+	b.rules = append(b.rules, rule[S]{
+		expand: func(s S) []ts.Transition {
+			if guard != nil && !guard(s) {
+				return nil
+			}
+			return []ts.Transition{{
+				Name: name,
+				Fire: func(env *ts.Env) (ts.State, error) {
+					ns := clone(s)
+					if err := action(ns, env); err != nil {
+						return nil, err
+					}
+					return ns, nil
+				},
+			}}
+		},
+	})
+	return b
+}
+
+// RuleSet adds one rule instance per parameter i in [0, n) — Murphi's
+// ruleset. The name is a fmt pattern receiving i.
+func (b *Builder[S]) RuleSet(n int, name string, guard func(S, int) bool, action func(S, int, *ts.Env) error) *Builder[S] {
+	b.rules = append(b.rules, rule[S]{
+		expand: func(s S) []ts.Transition {
+			var out []ts.Transition
+			for i := 0; i < n; i++ {
+				if guard != nil && !guard(s, i) {
+					continue
+				}
+				i := i
+				out = append(out, ts.Transition{
+					Name: fmt.Sprintf(name, i),
+					Fire: func(env *ts.Env) (ts.State, error) {
+						ns := clone(s)
+						if err := action(ns, i, env); err != nil {
+							return nil, err
+						}
+						return ns, nil
+					},
+				})
+			}
+			return out
+		},
+	})
+	return b
+}
+
+// Choice adds a rule that fires once per alternative in [0, k) — a
+// nondeterministic environment action (e.g. "deliver any pending message").
+// enabled(s) returns the live alternatives.
+func (b *Builder[S]) Choice(name string, enabled func(S) []int, action func(S, int, *ts.Env) error) *Builder[S] {
+	b.rules = append(b.rules, rule[S]{
+		expand: func(s S) []ts.Transition {
+			var out []ts.Transition
+			for _, alt := range enabled(s) {
+				alt := alt
+				out = append(out, ts.Transition{
+					Name: fmt.Sprintf(name, alt),
+					Fire: func(env *ts.Env) (ts.State, error) {
+						ns := clone(s)
+						if err := action(ns, alt, env); err != nil {
+							return nil, err
+						}
+						return ns, nil
+					},
+				})
+			}
+			return out
+		},
+	})
+	return b
+}
+
+// Invariant adds a safety property.
+func (b *Builder[S]) Invariant(name string, holds func(S) bool) *Builder[S] {
+	b.invs = append(b.invs, ts.Invariant{Name: name, Holds: func(s ts.State) bool { return holds(s.(S)) }})
+	return b
+}
+
+// Goal adds a reachability goal ("some reachable state satisfies this").
+func (b *Builder[S]) Goal(name string, holds func(S) bool) *Builder[S] {
+	b.goals = append(b.goals, ts.ReachGoal{Name: name, Holds: func(s ts.State) bool { return holds(s.(S)) }})
+	return b
+}
+
+// Quiescent marks states where having no enabled rule is acceptable rather
+// than a deadlock.
+func (b *Builder[S]) Quiescent(pred func(S) bool) *Builder[S] {
+	b.quiet = pred
+	return b
+}
+
+// System freezes the builder into a ts.System (safe for concurrent use; the
+// builder must not be modified afterwards).
+func (b *Builder[S]) System() ts.System {
+	return &built[S]{b: b}
+}
+
+type built[S Mutable] struct{ b *Builder[S] }
+
+// Name implements ts.System.
+func (x *built[S]) Name() string { return x.b.name }
+
+// Initial implements ts.System.
+func (x *built[S]) Initial() []ts.State { return x.b.initial }
+
+// Transitions implements ts.System.
+func (x *built[S]) Transitions(s ts.State) []ts.Transition {
+	st := s.(S)
+	var out []ts.Transition
+	for _, r := range x.b.rules {
+		out = append(out, r.expand(st)...)
+	}
+	return out
+}
+
+// Invariants implements ts.System.
+func (x *built[S]) Invariants() []ts.Invariant { return x.b.invs }
+
+// Goals implements ts.GoalReporter.
+func (x *built[S]) Goals() []ts.ReachGoal { return x.b.goals }
+
+// Quiescent implements ts.QuiescentReporter.
+func (x *built[S]) Quiescent(s ts.State) bool {
+	if x.b.quiet == nil {
+		return false
+	}
+	return x.b.quiet(s.(S))
+}

@@ -1,0 +1,421 @@
+// Package mc implements the embedded explicit-state model checker at the
+// heart of VerC3. It performs breadth-first search over the reachable state
+// space of a ts.System, deduplicating states by canonical key (with optional
+// scalarset symmetry reduction), checking safety invariants on every state,
+// detecting deadlocks, and — after a complete exploration — checking
+// reachability goals ("all stable states must be visited at least once").
+//
+// BFS matters to the synthesis layer: the first property violation found is
+// a minimal-length error trace, and the paper's candidate-pruning insight is
+// that a minimal trace of a faulty protocol rarely exercises every hole, so
+// failures generalize to every candidate sharing the trace's hole subset.
+//
+// The checker returns a three-valued verdict (see Verdict): during synthesis
+// a branch that reaches a hole still assigned the wildcard action is aborted,
+// and if no failure is found elsewhere the run is "unknown" rather than a
+// success.
+package mc
+
+import (
+	"errors"
+	"fmt"
+
+	"verc3/internal/symmetry"
+	"verc3/internal/ts"
+)
+
+// Verdict is the outcome of a model-checking run.
+type Verdict int
+
+const (
+	// Success: the full state space was explored, no property violated, no
+	// wildcard encountered.
+	Success Verdict = iota
+	// Failure: a property violation was found.
+	Failure
+	// Unknown: no violation found, but at least one execution branch was
+	// aborted at a wildcard hole (or the state cap was hit), so success
+	// cannot be concluded.
+	Unknown
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Success:
+		return "success"
+	case Failure:
+		return "failure"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// FailKind classifies property violations.
+type FailKind int
+
+const (
+	// FailInvariant: a safety invariant does not hold in a reachable state.
+	FailInvariant FailKind = iota
+	// FailDeadlock: a non-quiescent reachable state has no successors.
+	FailDeadlock
+	// FailGoal: exploration completed without wildcards but a reachability
+	// goal was never witnessed.
+	FailGoal
+)
+
+// String returns the failure-kind name.
+func (k FailKind) String() string {
+	switch k {
+	case FailInvariant:
+		return "invariant"
+	case FailDeadlock:
+		return "deadlock"
+	case FailGoal:
+		return "goal"
+	default:
+		return fmt.Sprintf("FailKind(%d)", int(k))
+	}
+}
+
+// FailureInfo describes a property violation.
+type FailureInfo struct {
+	Kind FailKind
+	// Name of the violated invariant or goal ("deadlock" for deadlocks).
+	Name string
+	// Trace is the counterexample: the states from an initial state to the
+	// violating state, with the transition names taken between them.
+	// Trace[i].Rule is the transition that led *into* Trace[i] (empty for
+	// the initial state). Populated only when Options.RecordTrace is set;
+	// for goal failures there is no single trace and Trace is nil.
+	Trace []TraceStep
+	// UsageMask is the bitmask of hole indices consulted along the error
+	// path (see UsageTracker). For goal failures every bit is set, since
+	// the violation is a property of the whole explored space. Zero when no
+	// tracker is installed.
+	UsageMask uint64
+}
+
+// TraceStep is one state of a counterexample trace.
+type TraceStep struct {
+	Rule  string
+	State ts.State
+}
+
+// Stats aggregates exploration statistics.
+type Stats struct {
+	// VisitedStates is the number of distinct (canonical) states reached.
+	VisitedStates int
+	// FiredTransitions is the number of successful transition firings.
+	FiredTransitions int
+	// WildcardAborts counts branches aborted at wildcard holes.
+	WildcardAborts int
+	// MaxDepth is the largest BFS depth reached (0 for initial states).
+	MaxDepth int
+}
+
+// Result is the outcome of Check.
+type Result struct {
+	Verdict     Verdict
+	Failure     *FailureInfo // non-nil iff Verdict == Failure
+	Stats       Stats
+	WildcardHit bool
+	// CapHit reports that the MaxStates cap stopped exploration.
+	CapHit bool
+}
+
+// UsageTracker lets the synthesis layer observe which holes each transition
+// firing consulted, so failures can be generalized to the executed hole
+// subset (the paper's Ct). The checker brackets every Fire call with
+// ResetUsage/Usage and accumulates masks along paths.
+type UsageTracker interface {
+	// ResetUsage clears the per-firing usage set.
+	ResetUsage()
+	// Usage returns the bitmask of hole indices consulted since the last
+	// ResetUsage. Hole indices >= 64 saturate to bit 63 (conservative).
+	Usage() uint64
+}
+
+// SearchOrder selects the exploration strategy.
+type SearchOrder int
+
+const (
+	// BFS yields minimal counterexample traces (the default; required for
+	// the pruning optimization to be most effective).
+	BFS SearchOrder = iota
+	// DFS uses depth-first order. Traces are not minimal; provided for the
+	// ablation study.
+	DFS
+)
+
+// Options configures a model-checking run. The zero value checks a complete
+// model with symmetry reduction off, deadlock checking on, no state cap.
+type Options struct {
+	// Env is the execution environment handed to transitions (nil for
+	// complete models).
+	Env *ts.Env
+	// Usage optionally tracks per-firing hole usage (see UsageTracker).
+	Usage UsageTracker
+	// Symmetry enables scalarset symmetry reduction for states implementing
+	// ts.Permutable.
+	Symmetry bool
+	// NoDeadlock disables deadlock detection.
+	NoDeadlock bool
+	// MaxStates caps the number of visited states (0 = unlimited). Hitting
+	// the cap downgrades a would-be success to Unknown.
+	MaxStates int
+	// RecordTrace keeps per-state parent pointers so failures carry a
+	// counterexample. Costs memory proportional to the state space.
+	RecordTrace bool
+	// Order selects BFS (default) or DFS.
+	Order SearchOrder
+}
+
+type node struct {
+	state  ts.State
+	parent int // index into nodes; -1 for initial states
+	rule   string
+	depth  int
+	mask   uint64 // holes consulted along the path here
+}
+
+type checker struct {
+	sys   ts.System
+	opt   Options
+	canon *symmetry.Canonicalizer
+	invs  []ts.Invariant
+	goals []ts.ReachGoal
+	quies ts.QuiescentReporter
+
+	visited map[string]struct{}
+	nodes   []node
+	goalHit []bool
+
+	res Result
+}
+
+// Check explores the reachable state space of sys under opt.
+//
+// The error return is reserved for malformed models (no initial states,
+// transition errors other than ts.ErrWildcard); property violations are
+// reported in the Result, not as errors.
+func Check(sys ts.System, opt Options) (*Result, error) {
+	c := &checker{
+		sys:     sys,
+		opt:     opt,
+		visited: make(map[string]struct{}, 1024),
+	}
+	c.invs = sys.Invariants()
+	if gr, ok := sys.(ts.GoalReporter); ok {
+		c.goals = gr.Goals()
+		c.goalHit = make([]bool, len(c.goals))
+	}
+	if qr, ok := sys.(ts.QuiescentReporter); ok {
+		c.quies = qr
+	}
+	if opt.Symmetry {
+		if p, ok := anyPermutable(sys); ok {
+			c.canon = symmetry.NewCanonicalizer(p.NumAgents())
+		}
+	}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return &c.res, nil
+}
+
+func anyPermutable(sys ts.System) (ts.Permutable, bool) {
+	for _, s := range sys.Initial() {
+		if p, ok := s.(ts.Permutable); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+func (c *checker) key(s ts.State) string {
+	if c.canon != nil {
+		return c.canon.Key(s)
+	}
+	return s.Key()
+}
+
+// enqueue registers s if unseen and returns (index, true) when new.
+func (c *checker) enqueue(s ts.State, parent int, rule string, depth int, mask uint64) (int, bool) {
+	k := c.key(s)
+	if _, seen := c.visited[k]; seen {
+		return -1, false
+	}
+	c.visited[k] = struct{}{}
+	n := node{state: s, parent: parent, rule: rule, depth: depth, mask: mask}
+	if !c.opt.RecordTrace {
+		// Parent pointers are useless without trace recording, but states in
+		// the frontier must be kept regardless; drop only the back-links.
+		n.parent, n.rule = -1, ""
+	}
+	c.nodes = append(c.nodes, n)
+	if depth > c.res.Stats.MaxDepth {
+		c.res.Stats.MaxDepth = depth
+	}
+	return len(c.nodes) - 1, true
+}
+
+// checkState runs invariants and goal predicates on node i; it reports
+// whether exploration should stop (violation found).
+func (c *checker) checkState(i int) bool {
+	s := c.nodes[i].state
+	for _, inv := range c.invs {
+		if !inv.Holds(s) {
+			c.fail(FailInvariant, inv.Name, i, c.nodes[i].mask)
+			return true
+		}
+	}
+	for gi := range c.goals {
+		if !c.goalHit[gi] && c.goals[gi].Holds(s) {
+			c.goalHit[gi] = true
+		}
+	}
+	return false
+}
+
+func (c *checker) fail(kind FailKind, name string, nodeIdx int, mask uint64) {
+	c.res.Verdict = Failure
+	c.res.Stats.VisitedStates = len(c.nodes)
+	fi := &FailureInfo{Kind: kind, Name: name, UsageMask: mask}
+	if c.opt.RecordTrace && nodeIdx >= 0 {
+		fi.Trace = c.trace(nodeIdx)
+	}
+	c.res.Failure = fi
+}
+
+func (c *checker) trace(i int) []TraceStep {
+	var rev []TraceStep
+	for ; i >= 0; i = c.nodes[i].parent {
+		rev = append(rev, TraceStep{Rule: c.nodes[i].rule, State: c.nodes[i].state})
+		if c.nodes[i].parent == i {
+			break // defensive: cannot happen
+		}
+	}
+	out := make([]TraceStep, 0, len(rev))
+	for j := len(rev) - 1; j >= 0; j-- {
+		out = append(out, rev[j])
+	}
+	return out
+}
+
+func (c *checker) run() error {
+	inits := c.sys.Initial()
+	if len(inits) == 0 {
+		return fmt.Errorf("mc: system %q has no initial states", c.sys.Name())
+	}
+	var frontier []int
+	for _, s := range inits {
+		if i, fresh := c.enqueue(s, -1, "", 0, 0); fresh {
+			if c.checkState(i) {
+				return nil
+			}
+			frontier = append(frontier, i)
+		}
+	}
+
+	for len(frontier) > 0 {
+		var i int
+		if c.opt.Order == DFS {
+			i = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		} else {
+			i = frontier[0]
+			frontier = frontier[1:]
+		}
+		if c.opt.MaxStates > 0 && len(c.nodes) > c.opt.MaxStates {
+			c.res.CapHit = true
+			break
+		}
+		if done, err := c.expand(i, &frontier); done || err != nil {
+			return err
+		}
+	}
+
+	if c.res.Verdict == Failure {
+		return nil
+	}
+	c.res.Stats.VisitedStates = len(c.nodes)
+	if c.res.WildcardHit || c.res.CapHit {
+		c.res.Verdict = Unknown
+		return nil
+	}
+	// Complete exploration: reachability goals are decidable now.
+	for gi := range c.goals {
+		if !c.goalHit[gi] {
+			// A goal failure is a property of the entire explored space;
+			// conservatively mark every hole as involved.
+			c.fail(FailGoal, c.goals[gi].Name, -1, ^uint64(0))
+			return nil
+		}
+	}
+	c.res.Verdict = Success
+	return nil
+}
+
+// expand fires all transitions of node i. It reports done=true when a
+// violation stops the search.
+func (c *checker) expand(i int, frontier *[]int) (done bool, err error) {
+	s := c.nodes[i].state
+	trs := c.sys.Transitions(s)
+	succs := 0
+	blocked := 0
+	for _, tr := range trs {
+		if c.opt.Usage != nil {
+			c.opt.Usage.ResetUsage()
+		}
+		next, ferr := tr.Fire(c.opt.Env)
+		if ferr != nil {
+			if errors.Is(ferr, ts.ErrWildcard) {
+				c.res.WildcardHit = true
+				c.res.Stats.WildcardAborts++
+				blocked++
+				continue
+			}
+			return false, fmt.Errorf("mc: transition %q from state %q: %w", tr.Name, s.Key(), ferr)
+		}
+		c.res.Stats.FiredTransitions++
+		succs++
+		mask := c.nodes[i].mask
+		if c.opt.Usage != nil {
+			mask |= c.opt.Usage.Usage()
+		}
+		if j, fresh := c.enqueue(next, i, tr.Name, c.nodes[i].depth+1, mask); fresh {
+			if c.checkState(j) {
+				return true, nil
+			}
+			*frontier = append(*frontier, j)
+		}
+	}
+	if succs == 0 && !c.opt.NoDeadlock {
+		if blocked > 0 {
+			// All outgoing behaviour hidden behind wildcards: not provably a
+			// deadlock; the Unknown verdict (WildcardHit) covers it.
+			return false, nil
+		}
+		if c.quies == nil || !c.quies.Quiescent(s) {
+			c.fail(FailDeadlock, "deadlock", i, c.nodes[i].mask)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// VisitedStates re-explores sys and returns the number of reachable states;
+// convenience for reports and tests on complete models.
+func VisitedStates(sys ts.System, symmetryOn bool) (int, error) {
+	r, err := Check(sys, Options{Symmetry: symmetryOn})
+	if err != nil {
+		return 0, err
+	}
+	if r.Verdict == Failure {
+		return r.Stats.VisitedStates, fmt.Errorf("mc: %s: %s %q violated", sys.Name(), r.Failure.Kind, r.Failure.Name)
+	}
+	return r.Stats.VisitedStates, nil
+}

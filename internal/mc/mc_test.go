@@ -1,0 +1,283 @@
+package mc_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"verc3/internal/mc"
+	"verc3/internal/toy"
+	"verc3/internal/ts"
+)
+
+// line builds a linear graph 0 → 1 → … → n-1 with optional bad terminal.
+func line(n int, badLast bool) *toy.Graph {
+	g := &toy.Graph{SysName: "line", Init: []int{0}}
+	for i := 0; i < n; i++ {
+		node := toy.Node{}
+		if i+1 < n {
+			node.Plain = []int{i + 1}
+		}
+		g.Nodes = append(g.Nodes, node)
+	}
+	if badLast {
+		g.Nodes[n-1].Bad = true
+	}
+	return g
+}
+
+// TestSuccessOnSafeSystem checks the plain happy path.
+func TestSuccessOnSafeSystem(t *testing.T) {
+	res, err := mc.Check(line(5, false), mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Success {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Stats.VisitedStates != 5 {
+		t.Errorf("states = %d, want 5", res.Stats.VisitedStates)
+	}
+	if res.Stats.MaxDepth != 4 {
+		t.Errorf("depth = %d, want 4", res.Stats.MaxDepth)
+	}
+}
+
+// TestInvariantFailureWithTrace checks the counterexample trace is complete
+// and ordered initial → violation.
+func TestInvariantFailureWithTrace(t *testing.T) {
+	res, err := mc.Check(line(4, true), mc.Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Failure || res.Failure.Kind != mc.FailInvariant {
+		t.Fatalf("got %v / %+v", res.Verdict, res.Failure)
+	}
+	if len(res.Failure.Trace) != 4 {
+		t.Fatalf("trace length = %d, want 4", len(res.Failure.Trace))
+	}
+	if res.Failure.Trace[0].Rule != "" {
+		t.Error("first step should be the initial state")
+	}
+	if res.Failure.Trace[3].State.Key() != "n3" {
+		t.Errorf("last state = %s, want n3", res.Failure.Trace[3].State.Key())
+	}
+}
+
+// TestBFSTraceMinimality: with a short and a long path to the same bad
+// state, BFS must report the short one. This property is what makes the
+// paper's pruning patterns maximally general.
+func TestBFSTraceMinimality(t *testing.T) {
+	//     0 → 1 → 2 → 3(bad)
+	//     0 ----------→ 3 (direct)
+	g := &toy.Graph{SysName: "twopaths", Init: []int{0}, Nodes: []toy.Node{
+		{Plain: []int{1, 3}},
+		{Plain: []int{2}},
+		{Plain: []int{3}},
+		{Bad: true},
+	}}
+	res, err := mc.Check(g, mc.Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Failure {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if got := len(res.Failure.Trace); got != 2 {
+		t.Errorf("BFS trace length = %d, want 2 (minimal)", got)
+	}
+	// DFS explores depth-first and may find the long way round.
+	res, err = mc.Check(g, mc.Options{RecordTrace: true, Order: mc.DFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Failure {
+		t.Fatalf("DFS verdict = %v", res.Verdict)
+	}
+}
+
+// TestDeadlockDetection checks a non-quiescent sink is reported.
+func TestDeadlockDetection(t *testing.T) {
+	// Node 1 has a hole with zero... use a graph where a node has no edges
+	// but is NOT quiescent: toy marks hole-less edge-less nodes quiescent,
+	// so build the deadlock via a hole node with a wildcard-free chooser?
+	// Simpler: a custom system.
+	sys := &sinkSystem{}
+	res, err := mc.Check(sys, mc.Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Failure || res.Failure.Kind != mc.FailDeadlock {
+		t.Fatalf("got %v / %+v, want deadlock", res.Verdict, res.Failure)
+	}
+}
+
+// sinkSystem: 0 → 1, and 1 has no transitions and is not quiescent.
+type sinkSystem struct{}
+
+type intState int
+
+func (s intState) Key() string     { return string(rune('a' + s)) }
+func (s intState) Clone() ts.State { return s }
+
+func (*sinkSystem) Name() string        { return "sink" }
+func (*sinkSystem) Initial() []ts.State { return []ts.State{intState(0)} }
+func (*sinkSystem) Transitions(s ts.State) []ts.Transition {
+	if s.(intState) == 0 {
+		return []ts.Transition{{Name: "go", Fire: func(*ts.Env) (ts.State, error) { return intState(1), nil }}}
+	}
+	return nil
+}
+func (*sinkSystem) Invariants() []ts.Invariant { return nil }
+
+// TestQuiescentSinkIsNotDeadlock checks QuiescentReporter suppresses the
+// deadlock report (toy terminal nodes are quiescent).
+func TestQuiescentSinkIsNotDeadlock(t *testing.T) {
+	res, err := mc.Check(line(3, false), mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Success {
+		t.Fatalf("verdict = %v, want success", res.Verdict)
+	}
+}
+
+// TestNoDeadlockOption checks deadlock detection can be disabled.
+func TestNoDeadlockOption(t *testing.T) {
+	res, err := mc.Check(&sinkSystem{}, mc.Options{NoDeadlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Success {
+		t.Fatalf("verdict = %v, want success with NoDeadlock", res.Verdict)
+	}
+}
+
+// TestGoalFailure checks an unreached goal fails a complete exploration.
+func TestGoalFailure(t *testing.T) {
+	g := line(3, false)
+	g.Nodes = append(g.Nodes, toy.Node{Goal: true}) // unreachable node 3
+	res, err := mc.Check(g, mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Failure || res.Failure.Kind != mc.FailGoal {
+		t.Fatalf("got %v / %+v, want goal failure", res.Verdict, res.Failure)
+	}
+	if res.Failure.UsageMask != ^uint64(0) {
+		t.Error("goal failures must conservatively involve every hole")
+	}
+}
+
+// TestGoalReached checks a reachable goal passes.
+func TestGoalReached(t *testing.T) {
+	g := line(3, false)
+	g.Nodes[2].Goal = true
+	res, err := mc.Check(g, mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Success {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+// wildcardChooser makes every hole a wildcard.
+type wildcardChooser struct{}
+
+func (wildcardChooser) Choose(string, []string) (int, error) { return 0, ts.ErrWildcard }
+
+// TestUnknownOnWildcard checks wildcard aborts downgrade success to unknown
+// and suppress both deadlock and goal verdicts.
+func TestUnknownOnWildcard(t *testing.T) {
+	g := toy.Figure2()
+	res, err := mc.Check(g, mc.Options{Env: ts.NewEnv(wildcardChooser{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Unknown {
+		t.Fatalf("verdict = %v, want unknown", res.Verdict)
+	}
+	if !res.WildcardHit || res.Stats.WildcardAborts == 0 {
+		t.Error("wildcard statistics not recorded")
+	}
+}
+
+// TestMaxStatesCap checks the cap downgrades to unknown.
+func TestMaxStatesCap(t *testing.T) {
+	res, err := mc.Check(line(100, false), mc.Options{MaxStates: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Unknown || !res.CapHit {
+		t.Fatalf("got %v capHit=%v, want unknown via cap", res.Verdict, res.CapHit)
+	}
+}
+
+// errChooser returns a non-wildcard error.
+type errChooser struct{}
+
+func (errChooser) Choose(string, []string) (int, error) {
+	return 0, errors.New("boom")
+}
+
+// TestModelErrorPropagates checks non-wildcard Fire errors become Check
+// errors, not verdicts.
+func TestModelErrorPropagates(t *testing.T) {
+	_, err := mc.Check(toy.Figure2(), mc.Options{Env: ts.NewEnv(errChooser{})})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestNoInitialStates checks the malformed-model error.
+func TestNoInitialStates(t *testing.T) {
+	g := &toy.Graph{SysName: "empty"}
+	if _, err := mc.Check(g, mc.Options{}); err == nil {
+		t.Fatal("want error for no initial states")
+	}
+}
+
+// TestVisitedStatesHelper checks the convenience wrapper.
+func TestVisitedStatesHelper(t *testing.T) {
+	n, err := mc.VisitedStates(line(7, false), false)
+	if err != nil || n != 7 {
+		t.Fatalf("got %d, %v", n, err)
+	}
+	if _, err := mc.VisitedStates(line(3, true), false); err == nil {
+		t.Fatal("want error for failing system")
+	}
+}
+
+// TestDFSExploresAll checks DFS visits the same state count on a safe system.
+func TestDFSExploresAll(t *testing.T) {
+	bfs, err := mc.Check(line(9, false), mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := mc.Check(line(9, false), mc.Options{Order: mc.DFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Stats.VisitedStates != dfs.Stats.VisitedStates {
+		t.Errorf("BFS %d states vs DFS %d", bfs.Stats.VisitedStates, dfs.Stats.VisitedStates)
+	}
+}
+
+// TestVerdictStrings pins the display names used in reports.
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[mc.Verdict]string{
+		mc.Success: "success", mc.Failure: "failure", mc.Unknown: "unknown",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+	for k, want := range map[mc.FailKind]string{
+		mc.FailInvariant: "invariant", mc.FailDeadlock: "deadlock", mc.FailGoal: "goal",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

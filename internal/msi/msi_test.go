@@ -1,0 +1,77 @@
+package msi_test
+
+import (
+	"testing"
+
+	"verc3/internal/mc"
+	"verc3/internal/msi"
+)
+
+// TestCompleteMSIVerifies is experiment E8's foundation: the hand-written
+// complete protocol satisfies every invariant and goal, with and without
+// symmetry reduction, across cache counts.
+func TestCompleteMSIVerifies(t *testing.T) {
+	for _, caches := range []int{1, 2, 3} {
+		for _, sym := range []bool{false, true} {
+			sys := msi.New(msi.Config{Caches: caches, Variant: msi.Complete})
+			res, err := mc.Check(sys, mc.Options{Symmetry: sym, RecordTrace: true})
+			if err != nil {
+				t.Fatalf("caches=%d sym=%v: %v", caches, sym, err)
+			}
+			if res.Verdict != mc.Success {
+				msg := ""
+				if res.Failure != nil {
+					msg = res.Failure.Kind.String() + " " + res.Failure.Name
+					for _, step := range res.Failure.Trace {
+						msg += "\n  " + step.Rule + " → " + step.State.(interface{ String() string }).String()
+					}
+				}
+				t.Fatalf("caches=%d sym=%v: verdict %v, want success: %s", caches, sym, res.Verdict, msg)
+			}
+			t.Logf("caches=%d sym=%v: %d states, %d transitions, depth %d",
+				caches, sym, res.Stats.VisitedStates, res.Stats.FiredTransitions, res.Stats.MaxDepth)
+		}
+	}
+}
+
+// TestCompleteMSIVerifiesFourCaches pushes the scalarset one step further
+// (4! = 24 permutations per canonicalization); Short-guarded for time.
+func TestCompleteMSIVerifiesFourCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger state space; run without -short")
+	}
+	sys := msi.New(msi.Config{Caches: 4, Variant: msi.Complete})
+	res, err := mc.Check(sys, mc.Options{Symmetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Success {
+		t.Fatalf("verdict %v (failure: %+v)", res.Verdict, res.Failure)
+	}
+	t.Logf("caches=4 sym: %d states, depth %d", res.Stats.VisitedStates, res.Stats.MaxDepth)
+}
+
+// TestSymmetryReducesStates checks symmetry reduction shrinks the state
+// space by roughly the scalarset factorial.
+func TestSymmetryReducesStates(t *testing.T) {
+	sys := msi.New(msi.Config{Caches: 3, Variant: msi.Complete})
+	plain, err := mc.Check(sys, mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := mc.Check(sys, mc.Options{Symmetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Verdict != mc.Success || sym.Verdict != mc.Success {
+		t.Fatalf("verdicts: plain=%v sym=%v", plain.Verdict, sym.Verdict)
+	}
+	if sym.Stats.VisitedStates >= plain.Stats.VisitedStates {
+		t.Errorf("symmetry did not reduce: %d vs %d", sym.Stats.VisitedStates, plain.Stats.VisitedStates)
+	}
+	ratio := float64(plain.Stats.VisitedStates) / float64(sym.Stats.VisitedStates)
+	t.Logf("plain=%d sym=%d ratio=%.2f (3! = 6 is the ceiling)", plain.Stats.VisitedStates, sym.Stats.VisitedStates, ratio)
+	if ratio < 2 {
+		t.Errorf("reduction ratio %.2f suspiciously low", ratio)
+	}
+}

@@ -1,0 +1,177 @@
+package msi
+
+import (
+	"verc3/internal/network"
+	"verc3/internal/ts"
+)
+
+// Invariants implements ts.System: the safety and well-formedness properties
+// of §III.
+//
+//   - SWMR: the Single-Writer–Multiple-Reader invariant.
+//   - Data-value properties: S and M copies match the ghost "last write",
+//     and memory is current whenever the directory believes no writer
+//     exists.
+//   - no-protocol-error: no agent received a message it has no handler for.
+//   - Handshake well-formedness ("several additional properties asserting
+//     liveness", the paper's reference [16]): every in-progress transaction
+//     has evidence of forward progress in flight. These reject candidates
+//     that park a transaction forever (e.g. completing a write without
+//     unblocking the directory), which deadlock detection alone misses when
+//     other caches can still make moves.
+func (sys *System) Invariants() []ts.Invariant {
+	return []ts.Invariant{
+		{Name: "no-protocol-error", Holds: func(s ts.State) bool {
+			return s.(*State).Err == ""
+		}},
+		{Name: "SWMR", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			writers, readers := 0, 0
+			for i := range st.Caches {
+				switch st.Caches[i].St {
+				case CacheM:
+					writers++
+				case CacheS:
+					readers++
+				}
+			}
+			return writers == 0 || (writers == 1 && readers == 0)
+		}},
+		{Name: "S-copy-current", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			for i := range st.Caches {
+				if st.Caches[i].St == CacheS && st.Caches[i].Data != st.Ghost {
+					return false
+				}
+			}
+			return true
+		}},
+		{Name: "M-copy-current", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			for i := range st.Caches {
+				if st.Caches[i].St == CacheM && st.Caches[i].Data != st.Ghost {
+					return false
+				}
+			}
+			return true
+		}},
+		{Name: "memory-current-when-unowned", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			if st.Dir.St == DirI || st.Dir.St == DirS {
+				return st.Dir.Mem == st.Ghost
+			}
+			return true
+		}},
+		{Name: "dir-handshake", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			d := st.Dir
+			if d.St != DirIM && d.St != DirSM && d.St != DirMM {
+				return true
+			}
+			if d.Pending < 0 || int(d.Pending) >= len(st.Caches) {
+				return false
+			}
+			p := int(d.Pending)
+			switch st.Caches[p].St {
+			case CacheIMAD, CacheIMA, CacheSMW:
+				return true
+			}
+			return st.Net.Any(func(m network.Msg) bool {
+				return m.Type == MsgAck && m.Src == p && m.Dst == sys.dirID
+			})
+		}},
+		{Name: "dir-MS-handshake", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			if st.Dir.St != DirMS {
+				return true
+			}
+			if st.Dir.Pending < 0 || int(st.Dir.Pending) >= len(st.Caches) {
+				return false
+			}
+			// Either the reader is still waiting (its transaction will push
+			// the owner's writeback along) or the writeback is in flight.
+			if st.Caches[st.Dir.Pending].St == CacheISD {
+				return true
+			}
+			return st.Net.Any(func(m network.Msg) bool {
+				return m.Type == MsgData && m.Dst == sys.dirID
+			})
+		}},
+		{Name: "read-handshake", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			for i := range st.Caches {
+				if st.Caches[i].St != CacheISD {
+					continue
+				}
+				i := i
+				ok := st.Net.Any(func(m network.Msg) bool {
+					return (m.Type == MsgGetS && m.Src == i) ||
+						(m.Type == MsgData && m.Dst == i) ||
+						(m.Type == MsgFwdGetS && m.Req == i)
+				})
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}},
+		{Name: "write-handshake", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			for i := range st.Caches {
+				switch st.Caches[i].St {
+				case CacheIMAD, CacheIMA, CacheSMW:
+				default:
+					continue
+				}
+				if (st.Dir.St == DirIM || st.Dir.St == DirSM || st.Dir.St == DirMM) && int(st.Dir.Pending) == i {
+					continue
+				}
+				i := i
+				ok := st.Net.Any(func(m network.Msg) bool {
+					return (m.Type == MsgGetM && m.Src == i) ||
+						(m.Type == MsgData && m.Dst == i) ||
+						(m.Type == MsgInvAck && m.Dst == i) ||
+						(m.Type == MsgInv && m.Req == i)
+				})
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}},
+	}
+}
+
+// Goals implements ts.GoalReporter: the paper's "all stable states must be
+// visited at least once" property, added after initial experiments produced
+// protocols that were safe but degenerate (e.g. bouncing straight back to
+// Invalid, rendering the cache useless). Invalid is the initial state and
+// trivially visited; S and M of both controllers are the goals.
+func (sys *System) Goals() []ts.ReachGoal {
+	return []ts.ReachGoal{
+		{Name: "some-cache-reaches-S", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			for i := range st.Caches {
+				if st.Caches[i].St == CacheS {
+					return true
+				}
+			}
+			return false
+		}},
+		{Name: "some-cache-reaches-M", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			for i := range st.Caches {
+				if st.Caches[i].St == CacheM {
+					return true
+				}
+			}
+			return false
+		}},
+		{Name: "dir-reaches-S", Holds: func(s ts.State) bool {
+			return s.(*State).Dir.St == DirS
+		}},
+		{Name: "dir-reaches-M", Holds: func(s ts.State) bool {
+			return s.(*State).Dir.St == DirM
+		}},
+	}
+}

@@ -1,0 +1,228 @@
+// Package msi implements the paper's case study: a directory-based MSI
+// cache-coherence protocol over an unordered interconnect (Figure 3), with
+// the transient states that the unordered network forces, the safety and
+// liveness-style properties of §III, and the synthesis skeletons MSI-small
+// (8 holes) and MSI-large (12 holes) with the designer action libraries
+// whose cardinalities (3 response × 7 next-state per cache rule; 5 response
+// × 7 next-state × 3 track per directory rule) reproduce the paper's
+// candidate counts exactly.
+//
+// The protocol, derived from Figure 3 and the paper's reference [13] (Sorin
+// et al., "A Primer on Memory Consistency and Cache Coherence"):
+//
+//   - N symmetric cache controllers and one directory share a single cache
+//     line; the directory holds the backing memory inline. Evictions are
+//     omitted, as in the paper's Figure 3.
+//   - Reads: I --GetS--> IS_D --Data--> S. The directory answers from I or S
+//     directly; from M it forwards (Fwd-GetS) to the owner, which sends Data
+//     to both requester and directory (writeback) and downgrades to S.
+//   - Writes: I --GetM--> IM_AD --Data(cnt)--> {M | IM_A} --Inv-Ack*--> M,
+//     and S --GetM--> SM_W likewise. The directory invalidates sharers
+//     (Inv), which Inv-Ack the requester directly; Data carries the number
+//     of Inv-Acks to expect. From M the directory forwards (Fwd-GetM) to
+//     the owner, which sends Data to the requester and invalidates itself.
+//   - Serialization: completing a write transaction sends Ack to the
+//     directory; the directory's transient states (I_M, S_M, M_M) stall
+//     further requests until that Ack arrives — this is the "transient
+//     state (Invalid-to-Modified) that stalls on further read/write
+//     requests" discussed in §III. The M_S transient instead awaits the
+//     owner's writeback Data.
+//
+// Data values are modelled over {0,1} with a ghost "last write" variable, so
+// the checker verifies not only the SWMR invariant but that readers observe
+// the most recent write.
+package msi
+
+import (
+	"fmt"
+	"strings"
+
+	"verc3/internal/network"
+	"verc3/internal/ts"
+)
+
+// CacheState enumerates the 7 cache-controller states (3 stable + 4
+// transient), which is exactly the arity of the cache "next state" hole
+// actions in the paper's action library.
+type CacheState int8
+
+// Cache-controller states.
+const (
+	CacheI    CacheState = iota // Invalid (stable)
+	CacheS                      // Shared (stable)
+	CacheM                      // Modified (stable)
+	CacheISD                    // I→S: GetS sent, awaiting Data
+	CacheIMAD                   // I→M: GetM sent, awaiting Data (and Inv-Acks)
+	CacheIMA                    // I→M: Data received, awaiting remaining Inv-Acks
+	CacheSMW                    // S→M: GetM sent, awaiting Data (and Inv-Acks)
+	numCacheStates
+)
+
+// cacheStateNames are the designer-visible next-state action names.
+var cacheStateNames = [...]string{"I", "S", "M", "IS_D", "IM_AD", "IM_A", "SM_W"}
+
+// String returns the state name.
+func (s CacheState) String() string { return cacheStateNames[s] }
+
+// DirState enumerates the 7 directory states (3 stable + 4 transient).
+type DirState int8
+
+// Directory states.
+const (
+	DirI  DirState = iota // Invalid (stable): no copies, memory current
+	DirS                  // Shared (stable): sharers hold the line
+	DirM                  // Modified (stable): owner holds the line
+	DirIM                 // I→M: Data sent, awaiting requester's Ack
+	DirSM                 // S→M: Invs+Data sent, awaiting requester's Ack
+	DirMS                 // M→S: Fwd-GetS sent, awaiting owner's writeback
+	DirMM                 // M→M: Fwd-GetM sent, awaiting requester's Ack
+	numDirStates
+)
+
+// dirStateNames are the designer-visible next-state action names.
+var dirStateNames = [...]string{"I", "S", "M", "I_M", "S_M", "M_S", "M_M"}
+
+// String returns the state name.
+func (s DirState) String() string { return dirStateNames[s] }
+
+// Message type names.
+const (
+	MsgGetS    = "GetS"    // cache→dir read request
+	MsgGetM    = "GetM"    // cache→dir write request
+	MsgFwdGetS = "FwdGetS" // dir→owner: send Data to Req and write back
+	MsgFwdGetM = "FwdGetM" // dir→owner: send Data to Req and invalidate
+	MsgInv     = "Inv"     // dir→sharer: invalidate, Inv-Ack the Req
+	MsgInvAck  = "InvAck"  // sharer→requester
+	MsgData    = "Data"    // data response; Cnt = Inv-Acks to expect
+	MsgAck     = "Ack"     // requester→dir: transaction complete (unblock)
+)
+
+// None marks an empty agent field (no owner / no pending requester).
+const None = -1
+
+// Cache is one cache controller's per-line state.
+type Cache struct {
+	St CacheState
+	// Data is the line's value; meaningful in S and M (kept 0 otherwise so
+	// state keys stay canonical).
+	Data int8
+	// Acks counts Inv-Acks: received-so-far while awaiting Data (IM_AD,
+	// SM_W), still-needed in IM_A. Zero elsewhere.
+	Acks int8
+}
+
+// Dir is the directory's per-line state.
+type Dir struct {
+	St DirState
+	// Owner is the owning cache in M (and the old owner during M_S/M_M).
+	Owner int8
+	// Pending is the requester being serialized during a transient.
+	Pending int8
+	// Sharers is a bitset of caches holding the line in S.
+	Sharers uint8
+	// Mem is the backing memory value.
+	Mem int8
+}
+
+// State is the global protocol state. It implements ts.State and
+// ts.Permutable.
+type State struct {
+	Caches []Cache
+	Dir    Dir
+	Net    network.Net
+	// Ghost is the specification variable: the most recently written value.
+	Ghost int8
+	// Err poisons the state when an agent received a message it has no
+	// handler for (Murphi's "unhandled message" error); the
+	// no-protocol-error invariant then fails, ending the search.
+	Err string
+}
+
+// Key implements ts.State.
+func (s *State) Key() string {
+	var b strings.Builder
+	b.Grow(64 + 8*len(s.Caches))
+	for _, c := range s.Caches {
+		fmt.Fprintf(&b, "%d.%d.%d|", c.St, c.Data, c.Acks)
+	}
+	fmt.Fprintf(&b, "D%d.%d.%d.%d.%d|G%d|", s.Dir.St, s.Dir.Owner, s.Dir.Pending, s.Dir.Sharers, s.Dir.Mem, s.Ghost)
+	b.WriteString(s.Net.Key())
+	if s.Err != "" {
+		b.WriteString("|E:")
+		b.WriteString(s.Err)
+	}
+	return b.String()
+}
+
+// Clone implements ts.State.
+func (s *State) Clone() ts.State {
+	cp := &State{
+		Caches: append([]Cache(nil), s.Caches...),
+		Dir:    s.Dir,
+		Net:    s.Net, // immutable value semantics
+		Ghost:  s.Ghost,
+		Err:    s.Err,
+	}
+	return cp
+}
+
+// NumAgents implements ts.Permutable.
+func (s *State) NumAgents() int { return len(s.Caches) }
+
+// Permute implements ts.Permutable: cache i is renamed to perm[i]
+// everywhere an agent index occurs (cache array slot, directory owner /
+// pending / sharers, message Src/Dst/Req).
+func (s *State) Permute(perm []int) ts.State {
+	n := len(s.Caches)
+	cp := &State{
+		Caches: make([]Cache, n),
+		Dir:    s.Dir,
+		Ghost:  s.Ghost,
+		Err:    s.Err,
+	}
+	for i, c := range s.Caches {
+		cp.Caches[perm[i]] = c
+	}
+	permAgent := func(a int8) int8 {
+		if a >= 0 && int(a) < n {
+			return int8(perm[a])
+		}
+		return a
+	}
+	cp.Dir.Owner = permAgent(s.Dir.Owner)
+	cp.Dir.Pending = permAgent(s.Dir.Pending)
+	var sh uint8
+	for i := 0; i < n; i++ {
+		if s.Dir.Sharers&(1<<uint(i)) != 0 {
+			sh |= 1 << uint(perm[i])
+		}
+	}
+	cp.Dir.Sharers = sh
+	cp.Net = s.Net.Permute(perm, n)
+	return cp
+}
+
+// String renders the state for traces.
+func (s *State) String() string {
+	var b strings.Builder
+	for i, c := range s.Caches {
+		fmt.Fprintf(&b, "c%d:%s(d=%d,a=%d) ", i, c.St, c.Data, c.Acks)
+	}
+	fmt.Fprintf(&b, "dir:%s(own=%d,pend=%d,shr=%08b,mem=%d) ghost=%d net=[%s]",
+		s.Dir.St, s.Dir.Owner, s.Dir.Pending, s.Dir.Sharers, s.Dir.Mem, s.Ghost, s.Net)
+	if s.Err != "" {
+		fmt.Fprintf(&b, " ERR=%s", s.Err)
+	}
+	return b.String()
+}
+
+// sharerSet returns the sharer cache indices in ascending order.
+func (s *State) sharerSet() []int {
+	var out []int
+	for i := range s.Caches {
+		if s.Dir.Sharers&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

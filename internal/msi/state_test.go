@@ -1,0 +1,188 @@
+package msi_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"verc3/internal/msi"
+	"verc3/internal/network"
+	"verc3/internal/symmetry"
+	"verc3/internal/ts"
+)
+
+// randomState builds a structurally plausible random MSI state.
+func randomState(rng *rand.Rand, n int) *msi.State {
+	st := &msi.State{
+		Caches: make([]msi.Cache, n),
+		Dir: msi.Dir{
+			St:      msi.DirState(rng.Intn(7)),
+			Owner:   int8(rng.Intn(n+1) - 1),
+			Pending: int8(rng.Intn(n+1) - 1),
+			Sharers: uint8(rng.Intn(1 << n)),
+			Mem:     int8(rng.Intn(2)),
+		},
+		Ghost: int8(rng.Intn(2)),
+	}
+	for i := range st.Caches {
+		st.Caches[i] = msi.Cache{
+			St:   msi.CacheState(rng.Intn(7)),
+			Data: int8(rng.Intn(2)),
+			Acks: int8(rng.Intn(3)),
+		}
+	}
+	types := []string{msi.MsgGetS, msi.MsgGetM, msi.MsgData, msi.MsgInv, msi.MsgInvAck, msi.MsgAck}
+	for k := rng.Intn(5); k > 0; k-- {
+		st.Net = st.Net.Send(network.Msg{
+			Type: types[rng.Intn(len(types))],
+			Src:  rng.Intn(n + 1),
+			Dst:  rng.Intn(n + 1),
+			Req:  rng.Intn(n+1) - 1,
+			Cnt:  rng.Intn(2),
+			Val:  rng.Intn(2),
+		})
+	}
+	return st
+}
+
+// TestStatePermuteGroupAction: identity fixes the key; p then p⁻¹
+// round-trips; the canonical key is orbit-invariant.
+func TestStatePermuteGroupAction(t *testing.T) {
+	const n = 3
+	canon := symmetry.NewCanonicalizer(n)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomState(rng, n)
+		id := []int{0, 1, 2}
+		if st.Permute(id).Key() != st.Key() {
+			return false
+		}
+		p := rng.Perm(n)
+		inv := symmetry.Invert(p)
+		if st.Permute(p).(*msi.State).Permute(inv).Key() != st.Key() {
+			return false
+		}
+		return canon.Key(st.Permute(p)) == canon.Key(st)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateCloneIndependence: mutating a clone leaves the original intact.
+func TestStateCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st := randomState(rng, 3)
+	key := st.Key()
+	cp := st.Clone().(*msi.State)
+	cp.Caches[0].St = msi.CacheM
+	cp.Dir.Owner = 0
+	cp.Net = cp.Net.Send(network.Msg{Type: msi.MsgAck, Src: 0, Dst: 3})
+	cp.Ghost ^= 1
+	cp.Err = "poked"
+	if st.Key() != key {
+		t.Error("clone mutation leaked into original")
+	}
+	if cp.Key() == key {
+		t.Error("clone mutations did not change its key")
+	}
+}
+
+// TestKeyDistinguishesFields: flipping each field alone changes the key
+// (injectivity spot checks — a collision here would merge distinct states
+// in the visited set and unsoundly prune reachable behaviour).
+func TestKeyDistinguishesFields(t *testing.T) {
+	base := func() *msi.State {
+		return &msi.State{Caches: make([]msi.Cache, 2), Dir: msi.Dir{Owner: msi.None, Pending: msi.None}}
+	}
+	mutations := map[string]func(*msi.State){
+		"cache-state": func(s *msi.State) { s.Caches[1].St = msi.CacheS },
+		"cache-data":  func(s *msi.State) { s.Caches[1].Data = 1 },
+		"cache-acks":  func(s *msi.State) { s.Caches[1].Acks = 1 },
+		"dir-state":   func(s *msi.State) { s.Dir.St = msi.DirM },
+		"dir-owner":   func(s *msi.State) { s.Dir.Owner = 1 },
+		"dir-pending": func(s *msi.State) { s.Dir.Pending = 0 },
+		"dir-sharers": func(s *msi.State) { s.Dir.Sharers = 2 },
+		"dir-mem":     func(s *msi.State) { s.Dir.Mem = 1 },
+		"ghost":       func(s *msi.State) { s.Ghost = 1 },
+		"net":         func(s *msi.State) { s.Net = s.Net.Send(network.Msg{Type: msi.MsgGetS, Src: 0, Dst: 2}) },
+		"err":         func(s *msi.State) { s.Err = "x" },
+	}
+	ref := base().Key()
+	for name, mut := range mutations {
+		s := base()
+		mut(s)
+		if s.Key() == ref {
+			t.Errorf("%s: key unchanged by mutation", name)
+		}
+	}
+}
+
+// TestConfigValidation: cache-count bounds panic loudly.
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []int{-1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("caches=%d: want panic", bad)
+				}
+			}()
+			msi.New(msi.Config{Caches: bad})
+		}()
+	}
+	if sys := msi.New(msi.Config{}); len(sys.Initial()[0].(*msi.State).Caches) != 3 {
+		t.Error("default caches != 3")
+	}
+	if msi.New(msi.Config{Caches: 2}).DirID() != 2 {
+		t.Error("DirID != cache count")
+	}
+}
+
+// TestVariantNames pins the display names used in reports.
+func TestVariantNames(t *testing.T) {
+	for v, want := range map[msi.Variant]string{
+		msi.Complete: "MSI-complete", msi.Small: "MSI-small", msi.Large: "MSI-large",
+	} {
+		if v.String() != want {
+			t.Errorf("%v", v)
+		}
+	}
+}
+
+// TestTransitionsAreStateless fires the same transition twice and checks
+// both successors are identical and the source state unchanged — the
+// contract that makes parallel synthesis safe.
+func TestTransitionsAreStateless(t *testing.T) {
+	sys := msi.New(msi.Config{Caches: 2, Variant: msi.Complete})
+	st := sys.Initial()[0]
+	key := st.Key()
+	trs := sys.Transitions(st)
+	if len(trs) == 0 {
+		t.Fatal("no transitions from initial state")
+	}
+	for _, tr := range trs {
+		a, err1 := tr.Fire(nil)
+		b, err2 := tr.Fire(nil)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v / %v", tr.Name, err1, err2)
+		}
+		if a.Key() != b.Key() {
+			t.Errorf("%s: refiring produced a different successor", tr.Name)
+		}
+		if st.Key() != key {
+			t.Fatalf("%s: firing mutated the source state", tr.Name)
+		}
+	}
+}
+
+// TestErrStatesAreTerminal: poisoned states expand to nothing.
+func TestErrStatesAreTerminal(t *testing.T) {
+	sys := msi.New(msi.Config{Caches: 2, Variant: msi.Complete})
+	st := sys.Initial()[0].(*msi.State).Clone().(*msi.State)
+	st.Err = "boom"
+	if got := sys.Transitions(st); len(got) != 0 {
+		t.Errorf("poisoned state has %d transitions", len(got))
+	}
+}
+
+var _ ts.Permutable = (*msi.State)(nil)

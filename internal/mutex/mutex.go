@@ -1,0 +1,237 @@
+// Package mutex is a second, self-contained case study: synthesizing the
+// missing actions of Peterson's two-process mutual-exclusion algorithm.
+// The paper positions VerC3 as a general library for concurrent-system
+// synthesis with distributed protocols as the flagship domain; this package
+// demonstrates the same skeleton-plus-action-library workflow on a shared-
+// memory concurrent program.
+//
+// The sketch leaves three actions open:
+//
+//   - turn-write: on entering the waiting phase, set turn to me or other
+//     (Peterson's subtle choice: only "other" preserves mutual exclusion);
+//   - exit-flag: on leaving the critical section, clear or keep my flag
+//     (keeping it eventually wedges the system: caught by deadlock
+//     detection or the returns-to-rest goal);
+//   - after-crit: where to go after the critical section, Idle or Crit
+//     (hogging the section starves the peer: caught by the
+//     returns-to-rest goal).
+//
+// Exactly one of the 2·2·2 = 8 candidates is correct.
+package mutex
+
+import (
+	"fmt"
+
+	"verc3/internal/ts"
+)
+
+// PC is a process's program counter.
+type PC int8
+
+// Program counters.
+const (
+	Idle    PC = iota // not requesting
+	SetTurn           // flag raised; about to write turn
+	Wait              // spinning on the entry condition
+	Crit              // critical section
+)
+
+var pcNames = [...]string{"Idle", "SetTurn", "Wait", "Crit"}
+
+// String returns the program-counter name.
+func (p PC) String() string { return pcNames[p] }
+
+// State is the global state of the two-process system.
+type State struct {
+	PCs  [2]PC
+	Flag [2]bool
+	// Turn is the process index with deference priority; None before the
+	// first write.
+	Turn int8
+	// VisitedCrit is a specification ghost: some process has entered the
+	// critical section at least once.
+	VisitedCrit bool
+}
+
+// None marks an unset Turn.
+const None = -1
+
+// Key implements ts.State.
+func (s *State) Key() string {
+	b := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return fmt.Sprintf("%d%d%d%d%d%d", s.PCs[0], s.PCs[1], b(s.Flag[0]), b(s.Flag[1]), s.Turn+1, b(s.VisitedCrit))
+}
+
+// Clone implements ts.State.
+func (s *State) Clone() ts.State {
+	cp := *s
+	return &cp
+}
+
+// NumAgents implements ts.Permutable.
+func (s *State) NumAgents() int { return 2 }
+
+// Permute implements ts.Permutable.
+func (s *State) Permute(perm []int) ts.State {
+	cp := &State{Turn: s.Turn, VisitedCrit: s.VisitedCrit}
+	for i := 0; i < 2; i++ {
+		cp.PCs[perm[i]] = s.PCs[i]
+		cp.Flag[perm[i]] = s.Flag[i]
+	}
+	if s.Turn >= 0 {
+		cp.Turn = int8(perm[s.Turn])
+	}
+	return cp
+}
+
+// String renders the state.
+func (s *State) String() string {
+	return fmt.Sprintf("p0:%s(f=%v) p1:%s(f=%v) turn=%d visited=%v",
+		s.PCs[0], s.Flag[0], s.PCs[1], s.Flag[1], s.Turn, s.VisitedCrit)
+}
+
+// System implements ts.System. Sketch selects whether the three actions are
+// holes (true) or fixed to Peterson's correct choices (false).
+type System struct {
+	Sketch bool
+}
+
+// New returns the mutex system; sketch leaves the three actions as holes.
+func New(sketch bool) *System { return &System{Sketch: sketch} }
+
+// Name implements ts.System.
+func (sys *System) Name() string {
+	if sys.Sketch {
+		return "peterson-sketch"
+	}
+	return "peterson"
+}
+
+// Initial implements ts.System.
+func (sys *System) Initial() []ts.State {
+	return []ts.State{&State{Turn: None}}
+}
+
+// Hole action libraries.
+var (
+	turnActions  = []string{"other", "me"}
+	exitActions  = []string{"clear", "keep"}
+	afterActions = []string{"Idle", "Crit"}
+)
+
+// choose resolves a hole in sketch mode, or returns the fixed correct index.
+func (sys *System) choose(env *ts.Env, hole string, acts []string, correct int) (int, error) {
+	if !sys.Sketch {
+		return correct, nil
+	}
+	return env.Choose(hole, acts)
+}
+
+// Transitions implements ts.System.
+func (sys *System) Transitions(s ts.State) []ts.Transition {
+	st := s.(*State)
+	var trs []ts.Transition
+	for me := 0; me < 2; me++ {
+		me := me
+		other := 1 - me
+		switch st.PCs[me] {
+		case Idle:
+			trs = append(trs, ts.Transition{
+				Name: fmt.Sprintf("p%d: request (flag up)", me),
+				Fire: func(*ts.Env) (ts.State, error) {
+					ns := st.Clone().(*State)
+					ns.Flag[me] = true
+					ns.PCs[me] = SetTurn
+					return ns, nil
+				},
+			})
+		case SetTurn:
+			trs = append(trs, ts.Transition{
+				Name: fmt.Sprintf("p%d: write turn", me),
+				Fire: func(env *ts.Env) (ts.State, error) {
+					a, err := sys.choose(env, "turn-write", turnActions, 0)
+					if err != nil {
+						return nil, err
+					}
+					ns := st.Clone().(*State)
+					if a == 0 {
+						ns.Turn = int8(other)
+					} else {
+						ns.Turn = int8(me)
+					}
+					ns.PCs[me] = Wait
+					return ns, nil
+				},
+			})
+		case Wait:
+			if !st.Flag[other] || st.Turn == int8(me) {
+				trs = append(trs, ts.Transition{
+					Name: fmt.Sprintf("p%d: enter critical section", me),
+					Fire: func(*ts.Env) (ts.State, error) {
+						ns := st.Clone().(*State)
+						ns.PCs[me] = Crit
+						ns.VisitedCrit = true
+						return ns, nil
+					},
+				})
+			}
+		case Crit:
+			trs = append(trs, ts.Transition{
+				Name: fmt.Sprintf("p%d: leave critical section", me),
+				Fire: func(env *ts.Env) (ts.State, error) {
+					ef, err := sys.choose(env, "exit-flag", exitActions, 0)
+					if err != nil {
+						return nil, err
+					}
+					ac, err := sys.choose(env, "after-crit", afterActions, 0)
+					if err != nil {
+						return nil, err
+					}
+					ns := st.Clone().(*State)
+					if ef == 0 {
+						ns.Flag[me] = false
+					}
+					if ac == 0 {
+						ns.PCs[me] = Idle
+					} else {
+						ns.PCs[me] = Crit
+					}
+					return ns, nil
+				},
+			})
+		}
+	}
+	return trs
+}
+
+// Invariants implements ts.System: mutual exclusion.
+func (sys *System) Invariants() []ts.Invariant {
+	return []ts.Invariant{{
+		Name: "mutual-exclusion",
+		Holds: func(s ts.State) bool {
+			st := s.(*State)
+			return !(st.PCs[0] == Crit && st.PCs[1] == Crit)
+		},
+	}}
+}
+
+// Goals implements ts.GoalReporter: the critical section is actually used,
+// and the system can return to rest afterwards (both Idle, flags down) —
+// the analogue of the paper's "all stable states must be visited" property,
+// rejecting safe-but-degenerate completions.
+func (sys *System) Goals() []ts.ReachGoal {
+	return []ts.ReachGoal{
+		{Name: "some-process-enters-crit", Holds: func(s ts.State) bool {
+			return s.(*State).VisitedCrit
+		}},
+		{Name: "returns-to-rest", Holds: func(s ts.State) bool {
+			st := s.(*State)
+			return st.VisitedCrit && st.PCs[0] == Idle && st.PCs[1] == Idle && !st.Flag[0] && !st.Flag[1]
+		}},
+	}
+}

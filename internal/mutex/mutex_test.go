@@ -1,0 +1,72 @@
+package mutex_test
+
+import (
+	"testing"
+
+	"verc3/internal/core"
+	"verc3/internal/mc"
+	"verc3/internal/mutex"
+)
+
+// TestPetersonVerifies checks the complete algorithm satisfies mutual
+// exclusion, deadlock freedom, and the usage goals.
+func TestPetersonVerifies(t *testing.T) {
+	for _, sym := range []bool{false, true} {
+		res, err := mc.Check(mutex.New(false), mc.Options{Symmetry: sym})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != mc.Success {
+			t.Fatalf("sym=%v: verdict %v (failure: %+v)", sym, res.Verdict, res.Failure)
+		}
+		t.Logf("sym=%v: %d states", sym, res.Stats.VisitedStates)
+	}
+}
+
+// TestPetersonSynthesis synthesizes the three held-out actions: of the
+// 2·2·2 candidates exactly Peterson's choices (turn:=other, clear flag,
+// back to Idle) survive.
+func TestPetersonSynthesis(t *testing.T) {
+	for _, cfg := range []core.Config{
+		{Mode: core.ModePrune},
+		{Mode: core.ModePrune, PruneStyle: core.PruneTraceGeneralized},
+		{Mode: core.ModeNaive},
+	} {
+		res, err := core.Synthesize(mutex.New(true), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Holes != 3 {
+			t.Fatalf("%v: holes = %d, want 3", cfg.Mode, res.Stats.Holes)
+		}
+		if len(res.Solutions) != 1 {
+			t.Fatalf("%v: solutions = %d, want 1", cfg.Mode, len(res.Solutions))
+		}
+		for i, name := range res.HoleNames {
+			correct := map[string]string{
+				"turn-write": "other",
+				"exit-flag":  "clear",
+				"after-crit": "Idle",
+			}[name]
+			got := res.HoleActions[i][res.Solutions[0].Assign[i]]
+			if got != correct {
+				t.Errorf("%v: hole %s = %s, want %s", cfg.Mode, name, got, correct)
+			}
+		}
+	}
+}
+
+// TestWrongTurnBreaksMutex documents why the sketch is non-trivial: writing
+// turn:=me lets both processes enter the critical section.
+func TestWrongTurnBreaksMutex(t *testing.T) {
+	res, err := core.Synthesize(mutex.New(true), core.Config{Mode: core.ModeNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one failing candidate must exist with turn-write=me; since
+	// the unique solution has turn-write=other, all 4 turn-write=me
+	// candidates failed.
+	if res.Stats.Failures == 0 {
+		t.Error("expected failing candidates among the 8")
+	}
+}

@@ -1,0 +1,195 @@
+// Package network models the unordered interconnect the paper's MSI case
+// study assumes ("all networks may be unordered"): messages in flight form a
+// multiset, and any pending message may be delivered next. The multiset is
+// kept canonically sorted so that network contents encode deterministically
+// into state keys, and agent-valued message fields can be permuted for
+// symmetry reduction.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Msg is one protocol message.
+//
+// Src, Dst and Req are agent indices and participate in symmetry permutation
+// (caches occupy [0, numAgents); the directory uses an index outside that
+// range and is a fixed point). Req names the agent on whose behalf the
+// message travels (e.g. the original requester in a forwarded request or
+// invalidation); -1 when not applicable. Cnt is a plain count (e.g. how many
+// Inv-Acks the receiver must collect) and Val a data value; neither is
+// permuted.
+type Msg struct {
+	Type string
+	Src  int
+	Dst  int
+	Req  int
+	Cnt  int
+	Val  int
+}
+
+// Key returns the canonical encoding of the message.
+func (m Msg) Key() string {
+	return fmt.Sprintf("%s,%d,%d,%d,%d,%d", m.Type, m.Src, m.Dst, m.Req, m.Cnt, m.Val)
+}
+
+// String renders the message for traces.
+func (m Msg) String() string {
+	s := fmt.Sprintf("%s(%d→%d", m.Type, m.Src, m.Dst)
+	if m.Req >= 0 {
+		s += fmt.Sprintf(" req=%d", m.Req)
+	}
+	if m.Cnt != 0 {
+		s += fmt.Sprintf(" cnt=%d", m.Cnt)
+	}
+	s += fmt.Sprintf(" val=%d)", m.Val)
+	return s
+}
+
+// less orders messages canonically.
+func less(a, b Msg) bool {
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.Req != b.Req {
+		return a.Req < b.Req
+	}
+	if a.Cnt != b.Cnt {
+		return a.Cnt < b.Cnt
+	}
+	return a.Val < b.Val
+}
+
+// Net is a canonical multiset of in-flight messages. The zero value is an
+// empty network. Net values are immutable once shared: mutating operations
+// return a fresh Net.
+type Net struct {
+	msgs []Msg // kept sorted
+}
+
+// New builds a network containing the given messages.
+func New(msgs ...Msg) Net {
+	n := Net{msgs: append([]Msg(nil), msgs...)}
+	sort.Slice(n.msgs, func(i, j int) bool { return less(n.msgs[i], n.msgs[j]) })
+	return n
+}
+
+// Len returns the number of in-flight messages.
+func (n Net) Len() int { return len(n.msgs) }
+
+// Send returns a copy of n with m added.
+func (n Net) Send(m Msg) Net {
+	out := make([]Msg, 0, len(n.msgs)+1)
+	i := 0
+	for ; i < len(n.msgs) && less(n.msgs[i], m); i++ {
+		out = append(out, n.msgs[i])
+	}
+	out = append(out, m)
+	out = append(out, n.msgs[i:]...)
+	return Net{msgs: out}
+}
+
+// Remove returns a copy of n with the message at index i (per Messages
+// order) removed. It panics on out-of-range i.
+func (n Net) Remove(i int) Net {
+	if i < 0 || i >= len(n.msgs) {
+		panic("network: Remove index out of range")
+	}
+	out := make([]Msg, 0, len(n.msgs)-1)
+	out = append(out, n.msgs[:i]...)
+	out = append(out, n.msgs[i+1:]...)
+	return Net{msgs: out}
+}
+
+// At returns the message at index i.
+func (n Net) At(i int) Msg { return n.msgs[i] }
+
+// Messages returns the in-flight messages in canonical order. The returned
+// slice must not be mutated.
+func (n Net) Messages() []Msg { return n.msgs }
+
+// ForDst returns the indices of messages addressed to dst, in canonical
+// order. Unordered delivery means each is a separately deliverable event.
+func (n Net) ForDst(dst int) []int {
+	var idx []int
+	for i, m := range n.msgs {
+		if m.Dst == dst {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Count returns how many in-flight messages satisfy pred.
+func (n Net) Count(pred func(Msg) bool) int {
+	c := 0
+	for _, m := range n.msgs {
+		if pred(m) {
+			c++
+		}
+	}
+	return c
+}
+
+// Any reports whether some in-flight message satisfies pred.
+func (n Net) Any(pred func(Msg) bool) bool {
+	for _, m := range n.msgs {
+		if pred(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns the canonical encoding of the whole network.
+func (n Net) Key() string {
+	var b strings.Builder
+	for i, m := range n.msgs {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(m.Key())
+	}
+	return b.String()
+}
+
+// Permute returns a copy of n with every agent index a in [0, numAgents)
+// renamed to perm[a] in Src, Dst and Req (indices outside that range, e.g.
+// the directory, are fixed points), re-canonicalized.
+func (n Net) Permute(perm []int, numAgents int) Net {
+	out := make([]Msg, len(n.msgs))
+	for i, m := range n.msgs {
+		if m.Src >= 0 && m.Src < numAgents {
+			m.Src = perm[m.Src]
+		}
+		if m.Dst >= 0 && m.Dst < numAgents {
+			m.Dst = perm[m.Dst]
+		}
+		if m.Req >= 0 && m.Req < numAgents {
+			m.Req = perm[m.Req]
+		}
+		out[i] = m
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return Net{msgs: out}
+}
+
+// String renders the network for traces.
+func (n Net) String() string {
+	if len(n.msgs) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(n.msgs))
+	for i, m := range n.msgs {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,184 @@
+package network_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"verc3/internal/network"
+)
+
+// genMsg builds a random message over a small agent universe.
+func genMsg(rng *rand.Rand, agents int) network.Msg {
+	types := []string{"GetS", "GetM", "Data", "Inv", "Ack"}
+	return network.Msg{
+		Type: types[rng.Intn(len(types))],
+		Src:  rng.Intn(agents + 1), // may be the directory (== agents)
+		Dst:  rng.Intn(agents + 1),
+		Req:  rng.Intn(agents+1) - 1, // may be None
+		Cnt:  rng.Intn(3),
+		Val:  rng.Intn(2),
+	}
+}
+
+// TestSendRemoveMultiset checks Send/Remove behave as multiset insert/delete
+// regardless of insertion order.
+func TestSendRemoveMultiset(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := network.Net{}
+		var ref []string // multiset of message keys
+		for _, op := range opsRaw {
+			if op%3 != 0 || n.Len() == 0 {
+				m := genMsg(rng, 3)
+				n = n.Send(m)
+				ref = append(ref, m.Key())
+			} else {
+				i := rng.Intn(n.Len())
+				k := n.At(i).Key()
+				n = n.Remove(i)
+				for j, rk := range ref {
+					if rk == k {
+						ref = append(ref[:j], ref[j+1:]...)
+						break
+					}
+				}
+			}
+			// Compare as sorted multisets.
+			var got []string
+			for _, m := range n.Messages() {
+				got = append(got, m.Key())
+			}
+			want := append([]string(nil), ref...)
+			sort.Strings(want)
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyOrderIndependence checks the canonical key ignores insertion order.
+func TestKeyOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		msgs := make([]network.Msg, 1+rng.Intn(6))
+		for i := range msgs {
+			msgs[i] = genMsg(rng, 3)
+		}
+		a := network.New(msgs...)
+		perm := rng.Perm(len(msgs))
+		b := network.Net{}
+		for _, i := range perm {
+			b = b.Send(msgs[i])
+		}
+		return a.Key() == b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermuteGroupAction checks Permute is a group action: identity is a
+// no-op and applying p then p⁻¹ round-trips.
+func TestPermuteGroupAction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const agents = 3
+		msgs := make([]network.Msg, 1+rng.Intn(6))
+		for i := range msgs {
+			msgs[i] = genMsg(rng, agents)
+		}
+		n := network.New(msgs...)
+		id := []int{0, 1, 2}
+		if n.Permute(id, agents).Key() != n.Key() {
+			return false
+		}
+		p := rng.Perm(agents)
+		inv := make([]int, agents)
+		for i, v := range p {
+			inv[v] = i
+		}
+		return n.Permute(p, agents).Permute(inv, agents).Key() == n.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermuteFixesDirectory checks agent indices outside the scalarset (the
+// directory) are fixed points.
+func TestPermuteFixesDirectory(t *testing.T) {
+	n := network.New(network.Msg{Type: "GetS", Src: 0, Dst: 2, Req: -1})
+	p := n.Permute([]int{1, 0}, 2) // 2 agents; dst 2 is the directory
+	m := p.At(0)
+	if m.Src != 1 || m.Dst != 2 {
+		t.Errorf("got %+v, want Src=1 Dst=2", m)
+	}
+}
+
+// TestForDst checks destination filtering.
+func TestForDst(t *testing.T) {
+	n := network.New(
+		network.Msg{Type: "A", Src: 0, Dst: 1},
+		network.Msg{Type: "B", Src: 1, Dst: 0},
+		network.Msg{Type: "C", Src: 2, Dst: 1},
+	)
+	idx := n.ForDst(1)
+	if len(idx) != 2 {
+		t.Fatalf("ForDst(1) = %v, want 2 entries", idx)
+	}
+	for _, i := range idx {
+		if n.At(i).Dst != 1 {
+			t.Errorf("message %d has Dst %d", i, n.At(i).Dst)
+		}
+	}
+}
+
+// TestCountAny checks the predicate helpers.
+func TestCountAny(t *testing.T) {
+	n := network.New(
+		network.Msg{Type: "Data", Val: 1},
+		network.Msg{Type: "Data", Val: 0},
+		network.Msg{Type: "Ack"},
+	)
+	if got := n.Count(func(m network.Msg) bool { return m.Type == "Data" }); got != 2 {
+		t.Errorf("Count(Data) = %d, want 2", got)
+	}
+	if !n.Any(func(m network.Msg) bool { return m.Type == "Ack" }) {
+		t.Error("Any(Ack) = false, want true")
+	}
+	if n.Any(func(m network.Msg) bool { return m.Type == "Inv" }) {
+		t.Error("Any(Inv) = true, want false")
+	}
+}
+
+// TestRemovePanics checks out-of-range Remove panics (programming error).
+func TestRemovePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	network.Net{}.Remove(0)
+}
+
+// TestDuplicateMessages checks true multiset semantics: identical messages
+// coexist and are removed one at a time.
+func TestDuplicateMessages(t *testing.T) {
+	m := network.Msg{Type: "Inv", Src: 2, Dst: 0, Req: 1}
+	n := network.New(m, m)
+	if n.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", n.Len())
+	}
+	n = n.Remove(0)
+	if n.Len() != 1 || n.At(0) != m {
+		t.Fatalf("after Remove: %v", n.Messages())
+	}
+}

@@ -1,0 +1,116 @@
+// Package symmetry implements scalarset-style symmetry reduction in the
+// spirit of Ip & Dill ("Better Verification Through Symmetry", CHDL 1993),
+// which the paper's embedded model checker supports.
+//
+// Symmetric agents (e.g. the replicated cache controllers of the MSI case
+// study) are interchangeable: permuting their identities maps reachable
+// states to reachable states and preserves all properties. The model checker
+// therefore stores only one canonical representative per orbit. For the
+// small scalarsets used in protocol verification (2–5 agents) the exact
+// canonicalization — minimizing the state key over all |S|! permutations —
+// is cheap and gives the full reduction factor.
+package symmetry
+
+import "verc3/internal/ts"
+
+// Permutations returns all permutations of [0, n) in a deterministic order.
+// n must be small (factorial growth); protocol scalarsets are.
+func Permutations(n int) [][]int {
+	if n < 0 {
+		panic("symmetry: negative scalarset size")
+	}
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			p := make([]int, n)
+			copy(p, base)
+			out = append(out, p)
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Identity reports whether perm is the identity permutation.
+func Identity(perm []int) bool {
+	for i, v := range perm {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Compose returns the permutation r where r[i] = a[b[i]].
+func Compose(a, b []int) []int {
+	r := make([]int, len(a))
+	for i := range r {
+		r[i] = a[b[i]]
+	}
+	return r
+}
+
+// Invert returns the inverse permutation of perm.
+func Invert(perm []int) []int {
+	r := make([]int, len(perm))
+	for i, v := range perm {
+		r[v] = i
+	}
+	return r
+}
+
+// Canonicalizer computes canonical state keys. It caches the permutation set
+// for the scalarset size it was built with.
+type Canonicalizer struct {
+	perms [][]int
+}
+
+// NewCanonicalizer builds a canonicalizer for a scalarset of n agents.
+func NewCanonicalizer(n int) *Canonicalizer {
+	return &Canonicalizer{perms: Permutations(n)}
+}
+
+// Key returns the canonical key of s: the lexicographically smallest Key()
+// over all permutations of s's agents. If s does not implement
+// ts.Permutable, its plain key is returned.
+func (c *Canonicalizer) Key(s ts.State) string {
+	p, ok := s.(ts.Permutable)
+	if !ok {
+		return s.Key()
+	}
+	best := s.Key()
+	for _, perm := range c.perms {
+		if Identity(perm) {
+			continue
+		}
+		if k := p.Permute(perm).Key(); k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Orbit returns the number of distinct keys in the symmetry orbit of s
+// (useful in tests: reduction factor = mean orbit size).
+func (c *Canonicalizer) Orbit(s ts.State) int {
+	p, ok := s.(ts.Permutable)
+	if !ok {
+		return 1
+	}
+	seen := make(map[string]struct{}, len(c.perms))
+	for _, perm := range c.perms {
+		seen[p.Permute(perm).Key()] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,137 @@
+package symmetry_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"verc3/internal/symmetry"
+	"verc3/internal/ts"
+)
+
+// TestPermutationsCount checks |Permutations(n)| = n! with all entries
+// distinct bijections.
+func TestPermutationsCount(t *testing.T) {
+	fact := 1
+	for n := 0; n <= 5; n++ {
+		if n > 0 {
+			fact *= n
+		}
+		ps := symmetry.Permutations(n)
+		if len(ps) != fact {
+			t.Fatalf("n=%d: %d permutations, want %d", n, len(ps), fact)
+		}
+		seen := map[string]bool{}
+		for _, p := range ps {
+			k := fmt.Sprint(p)
+			if seen[k] {
+				t.Fatalf("n=%d: duplicate permutation %v", n, p)
+			}
+			seen[k] = true
+			hit := make([]bool, n)
+			for _, v := range p {
+				if v < 0 || v >= n || hit[v] {
+					t.Fatalf("n=%d: not a bijection: %v", n, p)
+				}
+				hit[v] = true
+			}
+		}
+	}
+}
+
+// TestComposeInvert checks the group identities p∘p⁻¹ = id and
+// (a∘b)⁻¹ = b⁻¹∘a⁻¹.
+func TestComposeInvert(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a, b := rng.Perm(n), rng.Perm(n)
+		if !symmetry.Identity(symmetry.Compose(a, symmetry.Invert(a))) {
+			return false
+		}
+		lhs := symmetry.Invert(symmetry.Compose(a, b))
+		rhs := symmetry.Compose(symmetry.Invert(b), symmetry.Invert(a))
+		return fmt.Sprint(lhs) == fmt.Sprint(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// vecState is a tiny permutable state: a vector of agent-local values.
+type vecState struct{ vals []int }
+
+func (v *vecState) Key() string {
+	return fmt.Sprint(v.vals)
+}
+func (v *vecState) Clone() ts.State {
+	return &vecState{vals: append([]int(nil), v.vals...)}
+}
+func (v *vecState) NumAgents() int { return len(v.vals) }
+func (v *vecState) Permute(perm []int) ts.State {
+	out := make([]int, len(v.vals))
+	for i, val := range v.vals {
+		out[perm[i]] = val
+	}
+	return &vecState{vals: out}
+}
+
+// TestCanonicalKeyInvariance is the crucial soundness property: all states
+// in one symmetry orbit share a single canonical key, and states in
+// different orbits (different value multisets here) do not.
+func TestCanonicalKeyInvariance(t *testing.T) {
+	c := symmetry.NewCanonicalizer(4)
+	f := func(a, b, cc, d uint8) bool {
+		s := &vecState{vals: []int{int(a % 3), int(b % 3), int(cc % 3), int(d % 3)}}
+		want := c.Key(s)
+		for _, p := range symmetry.Permutations(4) {
+			if c.Key(s.Permute(p).(*vecState)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrbitSize checks Orbit counts distinct permuted keys: a fully
+// symmetric state has orbit 1; an all-distinct state has orbit n!.
+func TestOrbitSize(t *testing.T) {
+	c := symmetry.NewCanonicalizer(3)
+	if got := c.Orbit(&vecState{vals: []int{7, 7, 7}}); got != 1 {
+		t.Errorf("uniform orbit = %d, want 1", got)
+	}
+	if got := c.Orbit(&vecState{vals: []int{1, 2, 3}}); got != 6 {
+		t.Errorf("distinct orbit = %d, want 6", got)
+	}
+}
+
+// plainState does not implement Permutable.
+type plainState struct{ k string }
+
+func (p plainState) Key() string     { return p.k }
+func (p plainState) Clone() ts.State { return p }
+
+// TestNonPermutableFallsBack checks non-permutable states keep their key.
+func TestNonPermutableFallsBack(t *testing.T) {
+	c := symmetry.NewCanonicalizer(3)
+	if got := c.Key(plainState{k: "zzz"}); got != "zzz" {
+		t.Errorf("Key = %q, want zzz", got)
+	}
+	if got := c.Orbit(plainState{k: "zzz"}); got != 1 {
+		t.Errorf("Orbit = %d, want 1", got)
+	}
+}
+
+// TestNegativePanics documents the contract.
+func TestNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	symmetry.Permutations(-1)
+}

@@ -1,0 +1,79 @@
+// Package trace renders model-checker counterexamples for humans. The
+// paper's workflow surfaces minimal error traces to the protocol designer;
+// this package turns mc.FailureInfo values into readable reports.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"verc3/internal/mc"
+)
+
+// Options controls rendering.
+type Options struct {
+	// MaxSteps truncates long traces (0 = unlimited).
+	MaxSteps int
+	// ShowStates includes each state's String()/Key() rendering.
+	ShowStates bool
+}
+
+// Format renders a failure as a numbered trace report.
+func Format(f *mc.FailureInfo, opt Options) string {
+	if f == nil {
+		return "no failure"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s violation: %s\n", f.Kind, f.Name)
+	if len(f.Trace) == 0 {
+		if f.Kind == mc.FailGoal {
+			b.WriteString("(no single counterexample trace: the goal is unreached over the whole explored space)\n")
+		} else {
+			b.WriteString("(trace not recorded; re-run with RecordTrace)\n")
+		}
+		return b.String()
+	}
+	steps := f.Trace
+	truncated := 0
+	if opt.MaxSteps > 0 && len(steps) > opt.MaxSteps {
+		truncated = len(steps) - opt.MaxSteps
+		steps = steps[len(steps)-opt.MaxSteps:]
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&b, "... %d earlier steps elided ...\n", truncated)
+	}
+	for i, st := range steps {
+		rule := st.Rule
+		if rule == "" {
+			rule = "(initial state)"
+		}
+		fmt.Fprintf(&b, "%3d. %s\n", i+truncated, rule)
+		if opt.ShowStates {
+			fmt.Fprintf(&b, "     %s\n", stateString(st))
+		}
+	}
+	return b.String()
+}
+
+// stateString prefers a String method over the raw canonical key.
+func stateString(st mc.TraceStep) string {
+	if s, ok := st.State.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return st.State.Key()
+}
+
+// Summary returns a one-line description of the failure.
+func Summary(f *mc.FailureInfo) string {
+	if f == nil {
+		return "no failure"
+	}
+	return fmt.Sprintf("%s violation of %q after %d steps", f.Kind, f.Name, max(0, len(f.Trace)-1))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

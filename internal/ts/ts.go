@@ -1,0 +1,141 @@
+// Package ts provides the transition-system modelling layer of VerC3: an
+// embedded, Murphi-like guarded-command DSL for describing finite-state
+// concurrent systems in plain Go.
+//
+// A system is described by implementing the System interface: it supplies a
+// set of initial states and, for every state, the set of enabled transitions.
+// Transitions fire lazily so that the synthesis layer (internal/core) can
+// interpose "holes" whose actions are chosen by the synthesizer; firing a
+// transition whose hole is still unassigned (a wildcard) aborts just that
+// execution branch.
+//
+// States are explicit: every state must be able to produce a canonical
+// encoding of itself (Key) used by the model checker for visited-set
+// deduplication, and a deep copy (Clone) so rule actions can mutate freely.
+package ts
+
+import "errors"
+
+// ErrWildcard is returned by a transition's Fire when the execution reached a
+// synthesis hole whose current action is the wildcard (default) action. The
+// model checker treats the branch as unexplorable and records that a wildcard
+// was encountered; the final verdict for such a run can be at best "unknown".
+var ErrWildcard = errors.New("ts: wildcard hole encountered")
+
+// State is an explicit protocol state.
+//
+// Key must be a canonical encoding: two states are identical if and only if
+// their keys are equal. Models with symmetric agents additionally implement
+// Permutable so the checker can canonicalize keys up to agent permutation.
+type State interface {
+	// Key returns the canonical encoding of the state. It must be
+	// deterministic and injective on the reachable state space.
+	Key() string
+	// Clone returns a deep copy that shares no mutable structure with the
+	// receiver.
+	Clone() State
+}
+
+// Permutable is implemented by states containing scalarset-like symmetric
+// agent identifiers (e.g. cache IDs). Permute returns a copy of the state
+// with every agent index i renamed to perm[i]. The model checker uses this
+// for symmetry reduction: the canonical representative of a state is the
+// permutation with the lexicographically smallest Key.
+type Permutable interface {
+	State
+	// NumAgents reports the size of the symmetric scalarset.
+	NumAgents() int
+	// Permute returns a fresh state with agent identities renamed by perm,
+	// which is a bijection on [0, NumAgents()).
+	Permute(perm []int) State
+}
+
+// Env is the execution environment a transition fires in. It is the bridge
+// between the model and the synthesis engine: models call Choose at each
+// hole. A nil *Env (plain model checking of a complete model) makes Choose
+// panic, which turns an accidentally-left hole into a loud failure.
+type Env struct {
+	// chooser is installed by the synthesis engine.
+	chooser Chooser
+}
+
+// Chooser resolves synthesis holes. Implementations live in internal/core.
+type Chooser interface {
+	// Choose resolves the hole with the given name to the index of one of its
+	// actions. names lists the human-readable action names; its length fixes
+	// the hole's arity on first discovery. Choose returns ErrWildcard when
+	// the hole is currently assigned the wildcard action.
+	Choose(hole string, actions []string) (int, error)
+}
+
+// NewEnv wraps a Chooser for use by firing transitions. A nil chooser yields
+// an environment on which Choose panics (complete models never call it).
+func NewEnv(c Chooser) *Env { return &Env{chooser: c} }
+
+// Choose resolves the named hole to an action index in [0, len(actions)).
+// It returns ErrWildcard when the synthesizer has the hole at its wildcard
+// default. Calling Choose on an environment without a chooser panics: a
+// complete model must not contain holes.
+func (e *Env) Choose(hole string, actions []string) (int, error) {
+	if e == nil || e.chooser == nil {
+		panic("ts: Choose(" + hole + ") called while model-checking a complete model (no synthesis chooser installed)")
+	}
+	return e.chooser.Choose(hole, actions)
+}
+
+// Transition is a single enabled transition of a state. Fire computes the
+// successor; it must not mutate the originating state (models typically
+// Clone first). Fire returns ErrWildcard (possibly wrapped) when the branch
+// hits an unassigned hole.
+type Transition struct {
+	// Name identifies the transition for traces, e.g. "cache0: recv Data in IS_D".
+	Name string
+	// Fire computes the successor state in the given environment.
+	Fire func(env *Env) (State, error)
+}
+
+// Invariant is a safety property checked on every reachable state.
+type Invariant struct {
+	Name string
+	// Holds reports whether the state satisfies the invariant.
+	Holds func(s State) bool
+}
+
+// ReachGoal is an "eventually somewhere" property over the reachable state
+// space: after exploration finishes without a safety violation, every goal's
+// Holds must have been true for at least one visited state. The paper uses
+// this for "all stable states must be visited at least once", which weeds
+// out degenerate-but-safe protocols.
+type ReachGoal struct {
+	Name string
+	// Holds reports whether the state witnesses the goal.
+	Holds func(s State) bool
+}
+
+// System is a complete description of a finite-state transition system.
+type System interface {
+	// Name identifies the system in reports.
+	Name() string
+	// Initial returns the initial states. Must be non-empty.
+	Initial() []State
+	// Transitions enumerates the transitions enabled in s. Guards are
+	// evaluated eagerly (an entry is only returned if its guard holds);
+	// actions run lazily in Fire.
+	Transitions(s State) []Transition
+	// Invariants returns the safety properties of the system.
+	Invariants() []Invariant
+}
+
+// QuiescentReporter is optionally implemented by systems to refine deadlock
+// detection: a state with no successors is a deadlock only if it is not
+// quiescent. Systems that always have some enabled transition (e.g. ones
+// that can always issue a new request) need not implement this.
+type QuiescentReporter interface {
+	Quiescent(s State) bool
+}
+
+// GoalReporter is optionally implemented by systems that carry reachability
+// goals (see ReachGoal).
+type GoalReporter interface {
+	Goals() []ReachGoal
+}

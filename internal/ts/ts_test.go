@@ -1,0 +1,58 @@
+package ts_test
+
+import (
+	"errors"
+	"testing"
+
+	"verc3/internal/ts"
+)
+
+// stubChooser returns a fixed index.
+type stubChooser struct {
+	idx  int
+	err  error
+	last string
+}
+
+func (s *stubChooser) Choose(hole string, actions []string) (int, error) {
+	s.last = hole
+	return s.idx, s.err
+}
+
+// TestEnvChoosePassthrough checks Env delegates to the installed chooser.
+func TestEnvChoosePassthrough(t *testing.T) {
+	c := &stubChooser{idx: 2}
+	env := ts.NewEnv(c)
+	got, err := env.Choose("h", []string{"a", "b", "c"})
+	if err != nil || got != 2 {
+		t.Fatalf("Choose = %d, %v", got, err)
+	}
+	if c.last != "h" {
+		t.Errorf("hole name %q not forwarded", c.last)
+	}
+}
+
+// TestEnvChooseWildcard checks ErrWildcard flows through and is detectable
+// with errors.Is.
+func TestEnvChooseWildcard(t *testing.T) {
+	env := ts.NewEnv(&stubChooser{err: ts.ErrWildcard})
+	_, err := env.Choose("h", []string{"a"})
+	if !errors.Is(err, ts.ErrWildcard) {
+		t.Fatalf("err = %v, want ErrWildcard", err)
+	}
+}
+
+// TestNilEnvPanics: a complete model must not contain holes; calling Choose
+// without a chooser is a loud programming error, not a silent default.
+func TestNilEnvPanics(t *testing.T) {
+	for _, env := range []*ts.Env{nil, ts.NewEnv(nil)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			env.Choose("h", []string{"a"}) //nolint:errcheck
+		}()
+	}
+}

@@ -1,0 +1,55 @@
+// Package zoo registers the built-in systems so the command-line tools can
+// select them by name.
+package zoo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"verc3/internal/msi"
+	"verc3/internal/mutex"
+	"verc3/internal/toy"
+	"verc3/internal/ts"
+)
+
+// Params carries the knobs a named system may consume.
+type Params struct {
+	// Caches is the MSI cache count (0 = default 3).
+	Caches int
+}
+
+// builders maps system names to constructors.
+var builders = map[string]func(Params) ts.System{
+	"msi-complete": func(p Params) ts.System {
+		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Complete})
+	},
+	"msi-small": func(p Params) ts.System {
+		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Small})
+	},
+	"msi-large": func(p Params) ts.System {
+		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Large})
+	},
+	"peterson":        func(Params) ts.System { return mutex.New(false) },
+	"peterson-sketch": func(Params) ts.System { return mutex.New(true) },
+	"fig2":            func(Params) ts.System { return toy.Figure2() },
+}
+
+// Get builds the named system.
+func Get(name string, p Params) (ts.System, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown system %q (available: %s)", name, strings.Join(Names(), ", "))
+	}
+	return b(p), nil
+}
+
+// Names lists the registered system names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,36 @@
+package zoo_test
+
+import (
+	"testing"
+
+	"verc3/internal/zoo"
+)
+
+// TestAllSystemsBuild checks every registered name constructs a system with
+// at least one initial state.
+func TestAllSystemsBuild(t *testing.T) {
+	names := zoo.Names()
+	if len(names) < 6 {
+		t.Fatalf("only %d systems registered", len(names))
+	}
+	for _, n := range names {
+		sys, err := zoo.Get(n, zoo.Params{Caches: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if len(sys.Initial()) == 0 {
+			t.Errorf("%s: no initial states", n)
+		}
+		if sys.Name() == "" {
+			t.Errorf("%s: empty name", n)
+		}
+	}
+}
+
+// TestUnknownName checks the error lists the available systems.
+func TestUnknownName(t *testing.T) {
+	_, err := zoo.Get("nope", zoo.Params{})
+	if err == nil {
+		t.Fatal("want error")
+	}
+}
