@@ -18,12 +18,15 @@ package verc3_test
 
 import (
 	"flag"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"verc3/internal/core"
 	"verc3/internal/mc"
 	"verc3/internal/msi"
 	"verc3/internal/mutex"
+	"verc3/internal/statespace"
 	"verc3/internal/toy"
 )
 
@@ -206,6 +209,119 @@ func BenchmarkMCCompleteMSINoSymmetry(b *testing.B) {
 		states = res.Stats.VisitedStates
 	}
 	b.ReportMetric(float64(states), "states")
+}
+
+// --- Exploration-driver ablation (experiment E10) ---
+//
+// Sequential vs parallel state-space exploration on the complete MSI
+// protocol, the model checker's unit of work at verification scale. The
+// parallel rows need GOMAXPROCS > 1 to show wall-clock speedup; on one
+// core they measure the (small) coordination overhead of the sharded
+// visited set and the level-synchronous frontier.
+
+// parallelWorkers returns the worker count for the parallel benchmark
+// rows: every available core, but at least 2 so the parallel driver is
+// actually selected (Workers <= 1 falls back to sequential) and a
+// single-core run measures its coordination overhead rather than silently
+// re-running the sequential baseline.
+func parallelWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		return n
+	}
+	return 2
+}
+
+// exploreBench model-checks the complete protocol once per iteration.
+func exploreBench(b *testing.B, caches, workers int) {
+	b.Helper()
+	sys := msi.New(msi.Config{Caches: caches, Variant: msi.Complete})
+	var states int
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(sys, mc.Options{Symmetry: true, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != mc.Success {
+			b.Fatalf("verdict = %v", res.Verdict)
+		}
+		states = res.Stats.VisitedStates
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkExploreMSI3Sequential is the 3-cache baseline (1,097 states).
+func BenchmarkExploreMSI3Sequential(b *testing.B) { exploreBench(b, 3, 1) }
+
+// BenchmarkExploreMSI3Parallel uses every available core.
+func BenchmarkExploreMSI3Parallel(b *testing.B) { exploreBench(b, 3, parallelWorkers()) }
+
+// BenchmarkExploreMSI4Sequential is the largest MSI configuration the
+// suite explores (4 caches, 5,440 canonical states, 24 permutations per
+// canonicalization — heavy per-state work, the regime where intra-check
+// parallelism pays).
+func BenchmarkExploreMSI4Sequential(b *testing.B) {
+	if testing.Short() {
+		b.Skip("~2s per iteration; run without -short")
+	}
+	exploreBench(b, 4, 1)
+}
+
+// BenchmarkExploreMSI4Parallel is the headline sequential-vs-parallel
+// comparison: on an N-core machine it should approach N× over
+// BenchmarkExploreMSI4Sequential because canonicalization dominates and
+// parallelizes embarrassingly.
+func BenchmarkExploreMSI4Parallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("~2s per iteration; run without -short")
+	}
+	exploreBench(b, 4, parallelWorkers())
+}
+
+// --- Visited-set keying: string keys vs 64-bit fingerprints ---
+//
+// The seed checker deduplicated states in a map[string]struct{}, retaining
+// every canonical key; both drivers now store only statespace.Fingerprint.
+// These benchmarks isolate that allocation win on MSI-shaped keys.
+
+// benchKeys synthesizes canonical-key-shaped strings (the MSI key layout:
+// per-cache controller state plus directory and network contents).
+func benchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("c0:%d/acks%d|c1:%d|c2:%d|dir:{o=%d s=%03b}|net=[Data@%d,Inv@%d]",
+			i%7, i%3, (i/7)%7, (i/49)%7, i%4, i%8, i%11, i%13)
+	}
+	return keys
+}
+
+// BenchmarkVisitedKeyString is the seed scheme: the map retains every key
+// string (one allocation per state, plus the string bytes held live for
+// the whole exploration).
+func BenchmarkVisitedKeyString(b *testing.B) {
+	keys := benchKeys(1 << 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		visited := make(map[string]struct{}, 1024)
+		for _, k := range keys {
+			// Simulate the checker receiving a freshly built canonical key.
+			visited[string(append([]byte(nil), k...))] = struct{}{}
+		}
+	}
+}
+
+// BenchmarkVisitedKeyFingerprint is the current scheme shared by both
+// exploration drivers: hash, store 8 bytes, drop the key.
+func BenchmarkVisitedKeyFingerprint(b *testing.B) {
+	keys := benchKeys(1 << 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		visited := make(map[statespace.Fingerprint]struct{}, 1024)
+		for _, k := range keys {
+			visited[statespace.OfString(string(append([]byte(nil), k...)))] = struct{}{}
+		}
+	}
 }
 
 // BenchmarkSynthPeterson covers the second domain end to end.

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	verc3-synth -system msi-small [-caches 2] [-mode prune|naive]
-//	            [-workers 4] [-style full|trace] [-max-eval N] [-v]
+//	            [-workers 4] [-mc-workers 1] [-style full|trace] [-max-eval N] [-v]
 package main
 
 import (
@@ -22,14 +22,15 @@ import (
 
 func main() {
 	var (
-		system   = flag.String("system", "msi-small", "skeleton to synthesize ("+strings.Join(zoo.Names(), ", ")+")")
-		caches   = flag.Int("caches", 0, "MSI cache count (0 = default 3)")
-		mode     = flag.String("mode", "prune", "synthesis mode: prune or naive")
-		style    = flag.String("style", "full", "pruning pattern style: full (paper) or trace (generalized)")
-		workers  = flag.Int("workers", 1, "parallel synthesis workers")
-		symmetry = flag.Bool("symmetry", true, "enable symmetry reduction in the model checker")
-		maxEval  = flag.Int64("max-eval", 0, "stop after N model-checker dispatches (0 = run to completion)")
-		verbose  = flag.Bool("v", false, "log rounds and solutions as they are found")
+		system    = flag.String("system", "msi-small", "skeleton to synthesize ("+strings.Join(zoo.Names(), ", ")+")")
+		caches    = flag.Int("caches", 0, "MSI cache count (0 = default 3)")
+		mode      = flag.String("mode", "prune", "synthesis mode: prune or naive")
+		style     = flag.String("style", "full", "pruning pattern style: full (paper) or trace (generalized)")
+		workers   = flag.Int("workers", 1, "parallel synthesis workers (cross-candidate)")
+		mcWorkers = flag.Int("mc-workers", 1, "intra-check exploration workers per dispatch")
+		symmetry  = flag.Bool("symmetry", true, "enable symmetry reduction in the model checker")
+		maxEval   = flag.Int64("max-eval", 0, "stop after N model-checker dispatches (0 = run to completion)")
+		verbose   = flag.Bool("v", false, "log rounds and solutions as they are found")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	}
 	cfg := core.Config{
 		Workers:        *workers,
+		MCWorkers:      *mcWorkers,
 		MC:             mc.Options{Symmetry: *symmetry},
 		MaxEvaluations: *maxEval,
 	}

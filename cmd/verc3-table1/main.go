@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	verc3-table1 [-caches 2] [-workers 4] [-naive-large-max 20000] [-full] [-skip-naive]
+//	verc3-table1 [-caches 2] [-workers 4] [-mc-workers 1] [-naive-large-max 20000] [-full] [-skip-naive]
 package main
 
 import (
@@ -41,6 +41,7 @@ func main() {
 	var (
 		caches     = flag.Int("caches", 2, "MSI cache count")
 		workers    = flag.Int("workers", 4, "worker count for the parallel rows")
+		mcWorkers  = flag.Int("mc-workers", 1, "intra-check exploration workers per model-checker dispatch")
 		naiveLgMax = flag.Int64("naive-large-max", 20000, "dispatch cap for the MSI-large naive row")
 		full       = flag.Bool("full", false, "run every configuration to completion (MSI-large naive: days)")
 		skipNaive  = flag.Bool("skip-naive", false, "skip both naive rows entirely")
@@ -69,6 +70,7 @@ func main() {
 		res, err := core.Synthesize(sys, core.Config{
 			Mode:           r.mode,
 			Workers:        r.workers,
+			MCWorkers:      *mcWorkers,
 			MC:             mc.Options{Symmetry: true},
 			MaxEvaluations: r.truncate,
 		})

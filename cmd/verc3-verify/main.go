@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	verc3-verify -system msi-complete [-caches 3] [-symmetry=false] [-states] [-dfs]
+//	verc3-verify -system msi-complete [-caches 3] [-symmetry=false] [-states]
+//	             [-dfs] [-workers N] [-shard-bits B]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,12 +23,14 @@ import (
 
 func main() {
 	var (
-		system   = flag.String("system", "msi-complete", "system to verify ("+strings.Join(zoo.Names(), ", ")+")")
-		caches   = flag.Int("caches", 0, "MSI cache count (0 = default 3)")
-		symmetry = flag.Bool("symmetry", true, "enable scalarset symmetry reduction")
-		states   = flag.Bool("states", false, "print states along the counterexample trace")
-		dfs      = flag.Bool("dfs", false, "use depth-first search (traces not minimal)")
-		maxSt    = flag.Int("max-states", 0, "state cap (0 = unlimited)")
+		system    = flag.String("system", "msi-complete", "system to verify ("+strings.Join(zoo.Names(), ", ")+")")
+		caches    = flag.Int("caches", 0, "MSI cache count (0 = default 3)")
+		symmetry  = flag.Bool("symmetry", true, "enable scalarset symmetry reduction")
+		states    = flag.Bool("states", false, "print states along the counterexample trace")
+		dfs       = flag.Bool("dfs", false, "use depth-first search (traces not minimal)")
+		maxSt     = flag.Int("max-states", 0, "state cap (0 = unlimited)")
+		workers   = flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS, <=1 = sequential)")
+		shardBits = flag.Int("shard-bits", 0, "log2 shards of the parallel visited set (0 = default)")
 	)
 	flag.Parse()
 
@@ -35,10 +39,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
 		os.Exit(2)
 	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	opt := mc.Options{
 		Symmetry:    *symmetry,
 		RecordTrace: true,
 		MaxStates:   *maxSt,
+		Workers:     *workers,
+		ShardBits:   *shardBits,
 	}
 	if *dfs {
 		opt.Order = mc.DFS

@@ -2,13 +2,18 @@
 // State Synthesis of Concurrent Systems" (Elver, Banks, Jackson &
 // Nagarajan, DATE 2018).
 //
-// The library lives under internal/: the guarded-command modelling DSL
-// (internal/ts), the embedded explicit-state model checker with symmetry
-// reduction (internal/mc, internal/symmetry), the synthesis engine with
-// lazy hole discovery and candidate pruning (internal/core), the unordered
-// interconnect substrate (internal/network), and the case studies
-// (internal/msi, internal/mutex, internal/toy). Command-line tools are
-// under cmd/ and runnable examples under examples/.
+// The library lives under internal/: the guarded-command modelling layer
+// (internal/ts) with its lightweight frontend DSL (internal/dsl), the
+// embedded explicit-state model checker (internal/mc) on top of the
+// state-space exploration substrate — 64-bit state fingerprints, a sharded
+// visited set and a level-parallel BFS frontier (internal/statespace) —
+// with scalarset symmetry reduction (internal/symmetry), the synthesis
+// engine with lazy hole discovery and candidate pruning (internal/core),
+// the unordered interconnect substrate (internal/network), the case
+// studies (internal/msi, internal/mutex, internal/tokenring,
+// internal/toy), counterexample rendering (internal/trace) and the named
+// system registry (internal/zoo). Command-line tools are under cmd/ and
+// runnable examples under examples/.
 //
 // The benchmark harness in bench_test.go regenerates every table and figure
 // of the paper's evaluation; see DESIGN.md for the experiment index and

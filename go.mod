@@ -1,0 +1,3 @@
+module verc3
+
+go 1.24

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"verc3/internal/ts"
 )
 
@@ -12,14 +14,20 @@ import (
 // discovery index; holes with index >= len(assign) were discovered after the
 // candidate was drawn (or during this very run) and take the default action:
 // the wildcard under ModePrune, action 0 under ModeNaive.
+//
+// Choose may be called concurrently: with Config.MCWorkers > 1 the embedded
+// model checker fires transitions from several exploration workers against
+// this one chooser, so the usage masks are atomics. The bracketed
+// ResetUsage/Usage protocol is only meaningful when firings are sequential —
+// which the model checker guarantees by falling back to its sequential
+// driver whenever a UsageTracker is installed.
 type runChooser struct {
 	reg    *registry
 	assign []int
 	naive  bool
 
-	fireMask uint64 // holes consulted since last ResetUsage
-	runMask  uint64 // holes consulted at any point in the run
-	overflow bool   // a hole with index >= 64 was consulted
+	fireMask atomic.Uint64 // holes consulted since last ResetUsage
+	overflow atomic.Bool   // a hole with index >= 64 was consulted
 }
 
 // Choose implements ts.Chooser.
@@ -29,10 +37,9 @@ func (rc *runChooser) Choose(hole string, actions []string) (int, error) {
 		return 0, err
 	}
 	if h.index < 64 {
-		rc.fireMask |= 1 << uint(h.index)
-		rc.runMask |= 1 << uint(h.index)
+		rc.fireMask.Or(uint64(1) << uint(h.index))
 	} else {
-		rc.overflow = true
+		rc.overflow.Store(true)
 	}
 	if h.index < len(rc.assign) {
 		a := rc.assign[h.index]
@@ -52,14 +59,14 @@ func (rc *runChooser) Choose(hole string, actions []string) (int, error) {
 }
 
 // ResetUsage implements mc.UsageTracker.
-func (rc *runChooser) ResetUsage() { rc.fireMask = 0 }
+func (rc *runChooser) ResetUsage() { rc.fireMask.Store(0) }
 
 // Usage implements mc.UsageTracker.
 func (rc *runChooser) Usage() uint64 {
-	if rc.overflow {
+	if rc.overflow.Load() {
 		// Too many holes for exact masks: saturate so callers fall back to
 		// full-vector pruning (always sound).
 		return ^uint64(0)
 	}
-	return rc.fireMask
+	return rc.fireMask.Load()
 }

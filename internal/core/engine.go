@@ -63,13 +63,35 @@ type Config struct {
 	Mode Mode
 	// PruneStyle selects the pattern-generalization policy (ModePrune only).
 	PruneStyle PruneStyle
-	// Workers is the number of parallel synthesis workers (default 1).
+	// Workers is the number of parallel synthesis workers (default 1):
+	// cross-candidate parallelism, one model-checker run per candidate.
 	// ModeNaive is inherently sequential (its candidate vector grows during
 	// enumeration) and requires Workers <= 1.
 	Workers int
+	// MCWorkers is the number of intra-check exploration workers handed to
+	// the embedded model checker per dispatch (0 or 1 = sequential). The
+	// engine's total parallelism budget is Workers×MCWorkers, and budget
+	// flows in one direction only: once MCWorkers > 1 opts into
+	// intra-check parallelism, dispatches that cannot use cross-candidate
+	// parallelism (the initial hole-discovery run of ModePrune, rounds
+	// with fewer candidates than Workers) are given the idle share of the
+	// budget as extra intra-check workers (see SplitParallelism), but
+	// MCWorkers never adds cross-candidate workers beyond Workers —
+	// Workers=1 keeps its deterministic dispatch order, and MCWorkers<=1
+	// keeps every dispatch on the sequential driver.
+	// Cross-candidate parallelism is embarrassingly parallel and should
+	// get the budget first; intra-check parallelism is the lever when
+	// individual state spaces are large. With MCWorkers > 1, holes may be
+	// discovered in a scheduling-dependent order inside a run, so hole
+	// indices (and Solution.Assign vectors) are only stable up to
+	// renaming; compare solutions by hole name. Note
+	// PruneTraceGeneralized installs a usage tracker, which forces each
+	// check back to the sequential driver.
+	MCWorkers int
 	// MC carries the base model-checker options (symmetry, state caps,
-	// deadlock checking, search order). Env, Usage and RecordTrace are
-	// managed by the engine and must be left zero.
+	// deadlock checking, search order). Env, Usage, RecordTrace and Workers
+	// are managed by the engine and must be left zero (set Config.MCWorkers
+	// for intra-check parallelism).
 	MC mc.Options
 	// MaxEvaluations, when positive, stops synthesis after that many
 	// model-checker dispatches (Stats.Truncated is set). Used to run scaled
@@ -163,7 +185,7 @@ func (r *Result) Describe(i int) string {
 
 type engine struct {
 	sys      ts.System
-	cfg      Config
+	cfg      Config // MCWorkers/Workers normalized to >= 1 by Synthesize
 	reg      *registry
 	patterns *patternTable
 
@@ -198,6 +220,12 @@ func Synthesize(sys ts.System, cfg Config) (*Result, error) {
 	}
 	if cfg.MC.Env != nil || cfg.MC.Usage != nil || cfg.MC.RecordTrace {
 		return nil, fmt.Errorf("core: Config.MC must not set Env, Usage or RecordTrace")
+	}
+	if cfg.MC.Workers != 0 {
+		return nil, fmt.Errorf("core: Config.MC.Workers is managed by the engine; set Config.MCWorkers")
+	}
+	if cfg.MCWorkers <= 0 {
+		cfg.MCWorkers = 1
 	}
 	e := &engine{
 		sys:       sys,
@@ -242,13 +270,19 @@ func (e *engine) admit() bool {
 	return true
 }
 
-// dispatch model-checks one candidate configuration.
-func (e *engine) dispatch(assign []int) {
+// dispatch model-checks one candidate configuration with mcWorkers
+// intra-check exploration workers (the chooser is safe for concurrent
+// firings; see runChooser).
+func (e *engine) dispatch(assign []int, mcWorkers int) {
 	rc := &runChooser{reg: e.reg, assign: assign, naive: e.cfg.Mode == ModeNaive}
 	opt := e.cfg.MC
 	opt.Env = ts.NewEnv(rc)
+	opt.Workers = mcWorkers
 	if e.traceGen {
+		// Usage tracking needs sequentially bracketed firings; the model
+		// checker would fall back anyway, but be explicit.
 		opt.Usage = rc
+		opt.Workers = 1
 	}
 	res, err := mc.Check(e.sys, opt)
 	if err != nil {
@@ -324,7 +358,7 @@ func (e *engine) runNaive() error {
 		if !e.admit() {
 			return nil
 		}
-		e.dispatch(assign)
+		e.dispatch(assign, e.cfg.MCWorkers)
 		if e.stop.Load() {
 			return nil
 		}
@@ -348,7 +382,14 @@ func (e *engine) runNaive() error {
 // has been used as a non-wildcard, it cannot be a wildcard again").
 func (e *engine) runPrune() (rounds int, err error) {
 	if e.admit() {
-		e.dispatch(nil) // the empty candidate
+		// The empty candidate is a single dispatch with no cross-candidate
+		// work to parallelize; when the caller opted into intra-check
+		// parallelism the whole Workers×MCWorkers budget goes to it.
+		mcw := 1
+		if e.cfg.MCWorkers > 1 {
+			_, mcw = SplitParallelism(e.cfg.Workers*e.cfg.MCWorkers, 1)
+		}
+		e.dispatch(nil, mcw)
 	}
 	e.lastK = -1
 	for !e.stop.Load() {
@@ -371,7 +412,8 @@ func (e *engine) runPrune() (rounds int, err error) {
 }
 
 // enumerateRound exhausts all combinations over the prefix sizes, splitting
-// the index space across Workers.
+// the Workers×MCWorkers budget between cross-candidate workers and
+// per-dispatch exploration workers (see SplitParallelism).
 func (e *engine) enumerateRound(sizes []int) {
 	total := spaceSize(sizes)
 	if total >= math.MaxUint64/2 {
@@ -380,15 +422,25 @@ func (e *engine) enumerateRound(sizes []int) {
 		// index-free odometer: such spaces are only traversable at all
 		// because pruning skips almost everything, so the lost parallel
 		// chunking is irrelevant next to correctness.
-		e.enumerateOdometer(sizes)
+		e.enumerateOdometer(sizes, e.cfg.MCWorkers)
 		return
 	}
-	workers := e.cfg.Workers
-	if total < uint64(workers) {
+	// Budget flows one way only, and only for callers that opted into
+	// intra-check parallelism (MCWorkers > 1): idle cross-candidate slots
+	// (rounds with fewer candidates than Workers) become intra-check
+	// workers, but MCWorkers budget never inflates the cross-candidate
+	// pool — Workers=1 keeps the deterministic dispatch order that
+	// OnEvaluate and the Figure 2 regeneration rely on, and MCWorkers<=1
+	// keeps every dispatch on the sequential driver as documented.
+	workers, mcw := e.cfg.Workers, 1
+	if uint64(workers) > total {
 		workers = int(total)
 	}
+	if e.cfg.MCWorkers > 1 {
+		workers, mcw = SplitParallelism(e.cfg.Workers*e.cfg.MCWorkers, workers)
+	}
 	if workers <= 1 {
-		e.enumerateRange(0, total, sizes)
+		e.enumerateRange(0, total, sizes, mcw)
 		return
 	}
 	var cursor atomic.Uint64
@@ -413,17 +465,38 @@ func (e *engine) enumerateRound(sizes []int) {
 				if hi > total {
 					hi = total
 				}
-				e.enumerateRange(lo, hi, sizes)
+				e.enumerateRange(lo, hi, sizes, mcw)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
+// SplitParallelism splits a total core budget between cross-candidate
+// synthesis workers and per-dispatch model-checker exploration workers.
+// Cross-candidate parallelism is embarrassingly parallel (independent
+// model-checker runs) and is filled first; only when the pending candidate
+// count cannot occupy the budget does the remainder flow to intra-check
+// exploration. The returned pair satisfies workers*mcWorkers <= budget,
+// workers >= 1, mcWorkers >= 1.
+func SplitParallelism(budget, pendingCandidates int) (workers, mcWorkers int) {
+	if budget < 1 {
+		budget = 1
+	}
+	if pendingCandidates < 1 {
+		pendingCandidates = 1
+	}
+	workers = budget
+	if workers > pendingCandidates {
+		workers = pendingCandidates
+	}
+	return workers, budget / workers
+}
+
 // enumerateOdometer walks the whole prefix space without numeric indices,
 // skipping pruned subtrees by direct digit advancement. Sequential; used
 // only when the space size overflows uint64.
-func (e *engine) enumerateOdometer(sizes []int) {
+func (e *engine) enumerateOdometer(sizes []int, mcWorkers int) {
 	assign := make([]int, len(sizes))
 	for !e.stop.Load() {
 		if matched, d := e.patterns.Match(assign); matched {
@@ -439,7 +512,7 @@ func (e *engine) enumerateOdometer(sizes []int) {
 		if !e.admit() {
 			return
 		}
-		e.dispatch(assign)
+		e.dispatch(assign, mcWorkers)
 		if !incr(assign, sizes) {
 			return
 		}
@@ -448,7 +521,7 @@ func (e *engine) enumerateOdometer(sizes []int) {
 
 // enumerateRange evaluates candidate indices [lo, hi), skipping pruned
 // subtrees.
-func (e *engine) enumerateRange(lo, hi uint64, sizes []int) {
+func (e *engine) enumerateRange(lo, hi uint64, sizes []int, mcWorkers int) {
 	assign := make([]int, len(sizes))
 	for idx := lo; idx < hi && !e.stop.Load(); {
 		decode(idx, sizes, assign)
@@ -464,7 +537,7 @@ func (e *engine) enumerateRange(lo, hi uint64, sizes []int) {
 		if !e.admit() {
 			return
 		}
-		e.dispatch(assign)
+		e.dispatch(assign, mcWorkers)
 		idx++
 	}
 }

@@ -116,7 +116,7 @@ func TestRunChooserUsageMask(t *testing.T) {
 	if rc.Usage() != 0 {
 		t.Error("reset did not clear")
 	}
-	rc.overflow = true
+	rc.overflow.Store(true)
 	if rc.Usage() != ^uint64(0) {
 		t.Error("overflow must saturate")
 	}

@@ -1,9 +1,17 @@
 // Package mc implements the embedded explicit-state model checker at the
 // heart of VerC3. It performs breadth-first search over the reachable state
-// space of a ts.System, deduplicating states by canonical key (with optional
-// scalarset symmetry reduction), checking safety invariants on every state,
-// detecting deadlocks, and — after a complete exploration — checking
-// reachability goals ("all stable states must be visited at least once").
+// space of a ts.System, deduplicating states by a 64-bit fingerprint of the
+// canonical key (with optional scalarset symmetry reduction), checking
+// safety invariants on every state, detecting deadlocks, and — after a
+// complete exploration — checking reachability goals ("all stable states
+// must be visited at least once").
+//
+// Two exploration drivers share that keying scheme (internal/statespace):
+// the sequential driver (Options.Workers <= 1) with deterministic BFS/DFS
+// order and minimal BFS counterexamples, and a level-synchronous parallel
+// BFS driver (Options.Workers > 1) that spreads each frontier level over a
+// worker pool and dedupes through a sharded visited set. Complete
+// explorations report identical reachable-state counts under both drivers.
 //
 // BFS matters to the synthesis layer: the first property violation found is
 // a minimal-length error trace, and the paper's candidate-pruning insight is
@@ -20,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 
+	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
 	"verc3/internal/ts"
 )
@@ -171,6 +180,22 @@ type Options struct {
 	RecordTrace bool
 	// Order selects BFS (default) or DFS.
 	Order SearchOrder
+	// Workers selects the exploration driver. Values <= 1 run the
+	// deterministic sequential driver; values > 1 run the level-synchronous
+	// parallel BFS driver (internal/statespace) with that many goroutines
+	// over a sharded visited set. Parallel exploration requires the system's
+	// Transitions/Fire — and any Chooser behind Env — to be safe for
+	// concurrent use (complete models and internal/core's chooser are).
+	// Runs that need strictly sequential semantics fall back automatically:
+	// DFS order and usage tracking (Options.Usage) both force Workers = 1.
+	// Parallel counterexample traces are valid replays but, unlike
+	// sequential BFS traces, are not guaranteed minimal; reachable-state
+	// counts of complete explorations are identical across drivers because
+	// both dedupe by the same canonical-key fingerprint.
+	Workers int
+	// ShardBits is log2 of the parallel visited set's shard count
+	// (0 = statespace.DefaultShardBits). Ignored by the sequential driver.
+	ShardBits int
 }
 
 type node struct {
@@ -189,7 +214,7 @@ type checker struct {
 	goals []ts.ReachGoal
 	quies ts.QuiescentReporter
 
-	visited map[string]struct{}
+	visited map[statespace.Fingerprint]struct{}
 	nodes   []node
 	goalHit []bool
 
@@ -202,10 +227,13 @@ type checker struct {
 // transition errors other than ts.ErrWildcard); property violations are
 // reported in the Result, not as errors.
 func Check(sys ts.System, opt Options) (*Result, error) {
+	if useParallel(opt) {
+		return checkParallel(sys, opt)
+	}
 	c := &checker{
 		sys:     sys,
 		opt:     opt,
-		visited: make(map[string]struct{}, 1024),
+		visited: make(map[statespace.Fingerprint]struct{}, 1024),
 	}
 	c.invs = sys.Invariants()
 	if gr, ok := sys.(ts.GoalReporter); ok {
@@ -215,15 +243,29 @@ func Check(sys ts.System, opt Options) (*Result, error) {
 	if qr, ok := sys.(ts.QuiescentReporter); ok {
 		c.quies = qr
 	}
-	if opt.Symmetry {
-		if p, ok := anyPermutable(sys); ok {
-			c.canon = symmetry.NewCanonicalizer(p.NumAgents())
-		}
-	}
+	c.canon = newCanon(sys, opt)
 	if err := c.run(); err != nil {
 		return nil, err
 	}
 	return &c.res, nil
+}
+
+// useParallel reports whether opt selects the parallel driver. DFS is
+// inherently an ordered traversal and usage tracking brackets each firing
+// with ResetUsage/Usage on one tracker, so both force the sequential path.
+func useParallel(opt Options) bool {
+	return opt.Workers > 1 && opt.Order == BFS && opt.Usage == nil
+}
+
+// newCanon builds the symmetry canonicalizer when enabled and applicable.
+func newCanon(sys ts.System, opt Options) *symmetry.Canonicalizer {
+	if !opt.Symmetry {
+		return nil
+	}
+	if p, ok := anyPermutable(sys); ok {
+		return symmetry.NewCanonicalizer(p.NumAgents())
+	}
+	return nil
 }
 
 func anyPermutable(sys ts.System) (ts.Permutable, bool) {
@@ -235,20 +277,23 @@ func anyPermutable(sys ts.System) (ts.Permutable, bool) {
 	return nil, false
 }
 
-func (c *checker) key(s ts.State) string {
-	if c.canon != nil {
-		return c.canon.Key(s)
+// stateFingerprint returns the 64-bit fingerprint of s's canonical key —
+// the keying scheme shared by both exploration drivers (which is what makes
+// their reachable-state counts comparable).
+func stateFingerprint(canon *symmetry.Canonicalizer, s ts.State) statespace.Fingerprint {
+	if canon != nil {
+		return statespace.OfString(canon.Key(s))
 	}
-	return s.Key()
+	return statespace.OfString(s.Key())
 }
 
 // enqueue registers s if unseen and returns (index, true) when new.
 func (c *checker) enqueue(s ts.State, parent int, rule string, depth int, mask uint64) (int, bool) {
-	k := c.key(s)
-	if _, seen := c.visited[k]; seen {
+	fp := stateFingerprint(c.canon, s)
+	if _, seen := c.visited[fp]; seen {
 		return -1, false
 	}
-	c.visited[k] = struct{}{}
+	c.visited[fp] = struct{}{}
 	n := node{state: s, parent: parent, rule: rule, depth: depth, mask: mask}
 	if !c.opt.RecordTrace {
 		// Parent pointers are useless without trace recording, but states in
@@ -335,6 +380,12 @@ func (c *checker) run() error {
 		}
 		if done, err := c.expand(i, &frontier); done || err != nil {
 			return err
+		}
+		if !c.opt.RecordTrace {
+			// The state is fully expanded and its fingerprint lives in the
+			// visited set; without trace recording nothing reads it again,
+			// so release it to bound peak memory on large explorations.
+			c.nodes[i].state = nil
 		}
 	}
 

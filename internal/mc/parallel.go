@@ -1,0 +1,242 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"verc3/internal/statespace"
+	"verc3/internal/symmetry"
+	"verc3/internal/ts"
+)
+
+// pnode is one discovered state in the parallel driver. Nodes are immutable
+// after construction; counterexamples are reconstructed by walking the
+// parent pointers, which are only retained under Options.RecordTrace (they
+// keep every ancestor chain alive, the same memory/trace trade-off the
+// sequential driver makes with its node table).
+type pnode struct {
+	state  ts.State
+	parent *pnode // nil for initial states or when traces are off
+	rule   string
+	depth  int
+}
+
+// pchecker is the level-synchronous parallel BFS driver. Each frontier
+// level is spread over Options.Workers goroutines (statespace.ExpandLevel);
+// successors dedupe through the sharded visited set, whose Add doubles as
+// the expansion-ownership claim, so every state is checked and expanded
+// exactly once. Statistics are atomic; the first property violation wins
+// and stops the search.
+type pchecker struct {
+	sys   ts.System
+	opt   Options
+	canon *symmetry.Canonicalizer
+	invs  []ts.Invariant
+	goals []ts.ReachGoal
+	quies ts.QuiescentReporter
+
+	visited *statespace.Set
+	goalHit []atomic.Bool
+
+	fired    atomic.Int64
+	aborts   atomic.Int64
+	maxDepth atomic.Int64 // max enqueued depth (same semantics as sequential)
+	wildcard atomic.Bool
+	capHit   atomic.Bool
+
+	failMu  sync.Mutex
+	failure *FailureInfo
+}
+
+// checkParallel explores sys with the parallel driver (see Options.Workers).
+func checkParallel(sys ts.System, opt Options) (*Result, error) {
+	c := &pchecker{
+		sys:     sys,
+		opt:     opt,
+		canon:   newCanon(sys, opt),
+		invs:    sys.Invariants(),
+		visited: statespace.NewSet(opt.ShardBits),
+	}
+	if gr, ok := sys.(ts.GoalReporter); ok {
+		c.goals = gr.Goals()
+		c.goalHit = make([]atomic.Bool, len(c.goals))
+	}
+	if qr, ok := sys.(ts.QuiescentReporter); ok {
+		c.quies = qr
+	}
+	return c.run()
+}
+
+func (c *pchecker) fingerprint(s ts.State) statespace.Fingerprint {
+	return stateFingerprint(c.canon, s)
+}
+
+// noteDepth lifts the max-enqueued-depth watermark to d (racing workers
+// each CAS until their depth is covered).
+func (c *pchecker) noteDepth(d int) {
+	for {
+		cur := c.maxDepth.Load()
+		if int64(d) <= cur || c.maxDepth.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// checkState runs invariants and goal predicates on a freshly discovered
+// node; it reports whether exploration should stop (violation recorded).
+func (c *pchecker) checkState(n *pnode) bool {
+	for _, inv := range c.invs {
+		if !inv.Holds(n.state) {
+			c.fail(FailInvariant, inv.Name, n)
+			return true
+		}
+	}
+	for gi := range c.goals {
+		if !c.goalHit[gi].Load() && c.goals[gi].Holds(n.state) {
+			c.goalHit[gi].Store(true)
+		}
+	}
+	return false
+}
+
+// fail records the first property violation; later violations (racing
+// workers in the same level) are dropped, so the reported trace is always a
+// single consistent parent chain.
+func (c *pchecker) fail(kind FailKind, name string, n *pnode) {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	if c.failure != nil {
+		return
+	}
+	fi := &FailureInfo{Kind: kind, Name: name}
+	if c.opt.RecordTrace && n != nil {
+		var rev []TraceStep
+		for ; n != nil; n = n.parent {
+			rev = append(rev, TraceStep{Rule: n.rule, State: n.state})
+		}
+		fi.Trace = make([]TraceStep, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			fi.Trace = append(fi.Trace, rev[i])
+		}
+	}
+	c.failure = fi
+}
+
+// expand fires all transitions of one frontier node, emitting fresh
+// successors into the next level. It is called concurrently by the level
+// workers.
+func (c *pchecker) expand(n *pnode, emit func(*pnode)) (stop bool, err error) {
+	if c.opt.MaxStates > 0 && c.visited.Len() > c.opt.MaxStates {
+		c.capHit.Store(true)
+		return true, nil
+	}
+	trs := c.sys.Transitions(n.state)
+	succs, blocked := 0, 0
+	for _, tr := range trs {
+		next, ferr := tr.Fire(c.opt.Env)
+		if ferr != nil {
+			if errors.Is(ferr, ts.ErrWildcard) {
+				c.wildcard.Store(true)
+				c.aborts.Add(1)
+				blocked++
+				continue
+			}
+			return true, fmt.Errorf("mc: transition %q from state %q: %w", tr.Name, n.state.Key(), ferr)
+		}
+		c.fired.Add(1)
+		succs++
+		if !c.visited.Add(c.fingerprint(next)) {
+			continue
+		}
+		child := &pnode{state: next, depth: n.depth + 1}
+		if c.opt.RecordTrace {
+			child.parent, child.rule = n, tr.Name
+		}
+		c.noteDepth(child.depth)
+		if c.checkState(child) {
+			return true, nil
+		}
+		emit(child)
+	}
+	if succs == 0 && !c.opt.NoDeadlock {
+		if blocked > 0 {
+			// All outgoing behaviour hidden behind wildcards: not provably a
+			// deadlock; the Unknown verdict (WildcardHit) covers it.
+			return false, nil
+		}
+		if c.quies == nil || !c.quies.Quiescent(n.state) {
+			c.fail(FailDeadlock, "deadlock", n)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (c *pchecker) run() (*Result, error) {
+	inits := c.sys.Initial()
+	if len(inits) == 0 {
+		return nil, fmt.Errorf("mc: system %q has no initial states", c.sys.Name())
+	}
+	var frontier []*pnode
+	stopped := false
+	for _, s := range inits {
+		if !c.visited.Add(c.fingerprint(s)) {
+			continue
+		}
+		n := &pnode{state: s}
+		if c.checkState(n) {
+			stopped = true
+			break
+		}
+		frontier = append(frontier, n)
+	}
+
+	for !stopped && len(frontier) > 0 {
+		next, stop, err := statespace.ExpandLevel(c.opt.Workers, frontier, c.expand)
+		if err != nil {
+			return nil, err
+		}
+		if stop {
+			break
+		}
+		frontier = next
+	}
+	return c.finish(), nil
+}
+
+// finish assembles the Result with the same verdict logic as the
+// sequential driver.
+func (c *pchecker) finish() *Result {
+	res := &Result{
+		Stats: Stats{
+			VisitedStates:    c.visited.Len(),
+			FiredTransitions: int(c.fired.Load()),
+			WildcardAborts:   int(c.aborts.Load()),
+			MaxDepth:         int(c.maxDepth.Load()),
+		},
+		WildcardHit: c.wildcard.Load(),
+		CapHit:      c.capHit.Load(),
+	}
+	if c.failure != nil {
+		res.Verdict = Failure
+		res.Failure = c.failure
+		return res
+	}
+	if res.WildcardHit || res.CapHit {
+		res.Verdict = Unknown
+		return res
+	}
+	for gi := range c.goals {
+		if !c.goalHit[gi].Load() {
+			res.Verdict = Failure
+			// A goal failure is a property of the entire explored space;
+			// conservatively mark every hole as involved.
+			res.Failure = &FailureInfo{Kind: FailGoal, Name: c.goals[gi].Name, UsageMask: ^uint64(0)}
+			return res
+		}
+	}
+	res.Verdict = Success
+	return res
+}

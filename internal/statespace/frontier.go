@@ -1,0 +1,111 @@
+package statespace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ExpandLevel fans one breadth-first level out over a pool of workers.
+//
+// expand is called once per item; successors belonging to the next level
+// are handed to emit, which appends to a worker-local slice (no locking on
+// the emission path). expand returns stop=true to end exploration early
+// (property violation, state cap) or a non-nil error to abort the whole
+// search; either ends the level without processing the remaining items.
+//
+// ExpandLevel returns the concatenated next level, whether a stop was
+// requested, and the first error observed. The order of the returned items
+// depends on work scheduling and is NOT deterministic across runs — the
+// level-synchronous structure guarantees BFS depth semantics regardless.
+//
+// workers <= 1 (or a single-item level) runs inline on the calling
+// goroutine, in item order, with zero scheduling overhead.
+func ExpandLevel[T any](workers int, level []T, expand func(item T, emit func(T)) (stop bool, err error)) (next []T, stopped bool, err error) {
+	if workers > len(level) {
+		workers = len(level)
+	}
+	if workers <= 1 {
+		emit := func(t T) { next = append(next, t) }
+		for _, it := range level {
+			stop, err := expand(it, emit)
+			if err != nil {
+				return nil, true, err
+			}
+			if stop {
+				return next, true, nil
+			}
+		}
+		return next, false, nil
+	}
+
+	// Workers claim fixed-size chunks of the level via an atomic cursor:
+	// cheap, cache-friendly, and self-balancing when some states have far
+	// more successors than others.
+	chunk := len(level) / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 256 {
+		chunk = 256
+	}
+	var (
+		cursor   atomic.Int64
+		stopFlag atomic.Bool
+		errOnce  atomic.Pointer[errBox]
+		locals   = make([][]T, workers)
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Accumulate in a goroutine-local slice and publish it once on
+			// exit: appending through locals[w] directly would read-modify-
+			// write neighbouring slice headers' cache lines on every emitted
+			// state (false sharing on the hottest path).
+			var buf []T
+			defer func() { locals[w] = buf }()
+			emit := func(t T) { buf = append(buf, t) }
+			for !stopFlag.Load() {
+				hi := cursor.Add(int64(chunk))
+				lo := hi - int64(chunk)
+				if lo >= int64(len(level)) {
+					return
+				}
+				if hi > int64(len(level)) {
+					hi = int64(len(level))
+				}
+				for i := lo; i < hi; i++ {
+					if stopFlag.Load() {
+						return
+					}
+					stop, err := expand(level[i], emit)
+					if err != nil {
+						errOnce.CompareAndSwap(nil, &errBox{err})
+						stopFlag.Store(true)
+						return
+					}
+					if stop {
+						stopFlag.Store(true)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if eb := errOnce.Load(); eb != nil {
+		return nil, true, eb.err
+	}
+	total := 0
+	for _, l := range locals {
+		total += len(l)
+	}
+	next = make([]T, 0, total)
+	for _, l := range locals {
+		next = append(next, l...)
+	}
+	return next, stopFlag.Load(), nil
+}
+
+type errBox struct{ err error }

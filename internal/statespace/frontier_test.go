@@ -1,0 +1,98 @@
+package statespace_test
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"verc3/internal/statespace"
+)
+
+// expandDoubling is a synthetic successor function: item n emits 2n+1 and
+// 2n+2 while below a bound — a binary tree, so every level is exactly the
+// tree level and the union of all levels is 0..bound-1.
+func expandDoubling(bound int) func(int, func(int)) (bool, error) {
+	return func(n int, emit func(int)) (bool, error) {
+		for _, c := range []int{2*n + 1, 2*n + 2} {
+			if c < bound {
+				emit(c)
+			}
+		}
+		return false, nil
+	}
+}
+
+// TestExpandLevelMatchesSequential checks the parallel expansion of a level
+// emits exactly the same multiset as the sequential one, for several worker
+// counts.
+func TestExpandLevelMatchesSequential(t *testing.T) {
+	level := make([]int, 200)
+	for i := range level {
+		level[i] = i
+	}
+	want, stopped, err := statespace.ExpandLevel(1, level, expandDoubling(1000))
+	if err != nil || stopped {
+		t.Fatalf("sequential: stopped=%v err=%v", stopped, err)
+	}
+	sort.Ints(want)
+	for _, workers := range []int{2, 4, 16, 1000} {
+		got, stopped, err := statespace.ExpandLevel(workers, level, expandDoubling(1000))
+		if err != nil || stopped {
+			t.Fatalf("workers=%d: stopped=%v err=%v", workers, stopped, err)
+		}
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d items, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: item %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestExpandLevelStop checks a stop request ends the level early and is
+// reported.
+func TestExpandLevelStop(t *testing.T) {
+	level := make([]int, 10000)
+	var processed atomic.Int64
+	_, stopped, err := statespace.ExpandLevel(4, level, func(int, func(int)) (bool, error) {
+		return processed.Add(1) == 100, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stopped {
+		t.Error("stop not reported")
+	}
+	if n := processed.Load(); n == int64(len(level)) {
+		t.Error("stop did not cut the level short")
+	}
+}
+
+// TestExpandLevelError checks an expansion error aborts and propagates.
+func TestExpandLevelError(t *testing.T) {
+	boom := errors.New("boom")
+	level := make([]int, 1000)
+	for _, workers := range []int{1, 4} {
+		_, stopped, err := statespace.ExpandLevel(workers, level, func(n int, _ func(int)) (bool, error) {
+			return false, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if !stopped {
+			t.Errorf("workers=%d: error must imply stopped", workers)
+		}
+	}
+}
+
+// TestExpandLevelEmpty checks the degenerate cases.
+func TestExpandLevelEmpty(t *testing.T) {
+	next, stopped, err := statespace.ExpandLevel(4, nil, expandDoubling(10))
+	if err != nil || stopped || len(next) != 0 {
+		t.Fatalf("empty level: next=%v stopped=%v err=%v", next, stopped, err)
+	}
+}

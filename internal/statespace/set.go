@@ -1,0 +1,85 @@
+package statespace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// DefaultShardBits is the shard count exponent used when a Set is built
+	// with shardBits <= 0: 2⁸ = 256 shards keeps the expected queue depth
+	// per shard lock near zero even with dozens of exploration workers.
+	DefaultShardBits = 8
+	// MaxShardBits caps the shard count at 2¹⁶; beyond that the per-shard
+	// map headers dominate memory for no additional concurrency.
+	MaxShardBits = 16
+)
+
+// shard is one lock-striped slice of the set. It is padded to a cache line
+// so neighbouring shard mutexes do not false-share under contention.
+type shard struct {
+	mu sync.Mutex
+	m  map[Fingerprint]struct{}
+	_  [64 - 16]byte
+}
+
+// Set is a sharded visited set keyed by Fingerprint. All methods are safe
+// for concurrent use; Add is the exploration hot path and takes only the
+// single shard lock selected by the fingerprint's low bits.
+type Set struct {
+	shards []shard
+	mask   uint64
+	count  atomic.Int64
+}
+
+// NewSet builds a set with 2^shardBits shards. shardBits <= 0 selects
+// DefaultShardBits; values above MaxShardBits are clamped.
+func NewSet(shardBits int) *Set {
+	if shardBits <= 0 {
+		shardBits = DefaultShardBits
+	}
+	if shardBits > MaxShardBits {
+		shardBits = MaxShardBits
+	}
+	n := 1 << uint(shardBits)
+	s := &Set{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[Fingerprint]struct{}, 64)
+	}
+	return s
+}
+
+func (s *Set) shard(fp Fingerprint) *shard {
+	return &s.shards[uint64(fp)&s.mask]
+}
+
+// Add inserts fp and reports whether it was absent (i.e. the caller is the
+// first to visit this state and owns its expansion).
+func (s *Set) Add(fp Fingerprint) bool {
+	sh := s.shard(fp)
+	sh.mu.Lock()
+	if _, dup := sh.m[fp]; dup {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[fp] = struct{}{}
+	sh.mu.Unlock()
+	s.count.Add(1)
+	return true
+}
+
+// Contains reports whether fp has been added.
+func (s *Set) Contains(fp Fingerprint) bool {
+	sh := s.shard(fp)
+	sh.mu.Lock()
+	_, ok := sh.m[fp]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of distinct fingerprints added. It reads a single
+// atomic counter and is cheap enough for per-state cap checks.
+func (s *Set) Len() int { return int(s.count.Load()) }
+
+// Shards reports the shard count (a power of two).
+func (s *Set) Shards() int { return len(s.shards) }

@@ -1,0 +1,103 @@
+package statespace_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"verc3/internal/statespace"
+)
+
+// TestFingerprintDeterministicAndDistinct checks OfString is stable and
+// collision-free over a realistic population of state keys.
+func TestFingerprintDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[statespace.Fingerprint]string, 100000)
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("cache%d:M dir:{owner=%d,sharers=%b} net=[%d]", i%7, i%5, i, i)
+		fp := statespace.OfString(k)
+		if fp != statespace.OfString(k) {
+			t.Fatalf("OfString(%q) not deterministic", k)
+		}
+		if prev, dup := seen[fp]; dup && prev != k {
+			t.Fatalf("collision: %q and %q -> %x", prev, k, fp)
+		}
+		seen[fp] = k
+	}
+}
+
+// TestSetAddContainsLen checks the basic set contract: first Add wins,
+// duplicates are rejected, Len counts distinct fingerprints.
+func TestSetAddContainsLen(t *testing.T) {
+	s := statespace.NewSet(3)
+	if s.Shards() != 8 {
+		t.Fatalf("Shards = %d, want 8", s.Shards())
+	}
+	for i := 0; i < 1000; i++ {
+		fp := statespace.OfString(fmt.Sprint(i))
+		if !s.Add(fp) {
+			t.Fatalf("first Add(%d) returned false", i)
+		}
+		if s.Add(fp) {
+			t.Fatalf("duplicate Add(%d) returned true", i)
+		}
+		if !s.Contains(fp) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", s.Len())
+	}
+	if s.Contains(statespace.OfString("absent")) {
+		t.Error("Contains reported an absent fingerprint")
+	}
+}
+
+// TestSetShardClamping checks the bits are defaulted and capped.
+func TestSetShardClamping(t *testing.T) {
+	if got := statespace.NewSet(0).Shards(); got != 1<<statespace.DefaultShardBits {
+		t.Errorf("default shards = %d", got)
+	}
+	if got := statespace.NewSet(-3).Shards(); got != 1<<statespace.DefaultShardBits {
+		t.Errorf("negative bits shards = %d", got)
+	}
+	if got := statespace.NewSet(40).Shards(); got != 1<<statespace.MaxShardBits {
+		t.Errorf("oversized bits shards = %d", got)
+	}
+}
+
+// TestSetConcurrentAdds is the race-detector test for the sharded set:
+// overlapping goroutines fight over the same fingerprint population and
+// exactly one Add per fingerprint may win.
+func TestSetConcurrentAdds(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 20000
+	)
+	s := statespace.NewSet(4)
+	wins := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every worker attempts every key, in a worker-dependent order.
+			for i := 0; i < keys; i++ {
+				k := (i*(w+1) + w) % keys
+				if s.Add(statespace.OfString(fmt.Sprint(k))) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range wins {
+		total += n
+	}
+	if total != keys {
+		t.Errorf("total Add wins = %d, want %d (each fingerprint claimed exactly once)", total, keys)
+	}
+	if s.Len() != keys {
+		t.Errorf("Len = %d, want %d", s.Len(), keys)
+	}
+}

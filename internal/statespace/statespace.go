@@ -1,0 +1,40 @@
+// Package statespace provides the state-storage and parallel-exploration
+// substrate of VerC3's embedded model checker: 64-bit state fingerprints, a
+// sharded concurrent visited set, and a level-synchronous work distributor
+// for parallel breadth-first search.
+//
+// The package is deliberately independent of the modelling layer (it knows
+// nothing about ts.State): the checker canonicalizes a state to its key
+// string, fingerprints it with OfString, and stores only the fingerprint.
+// Dropping the string keys removes the dominant allocation of the
+// exploration hot path and shrinks the visited set to 8 bytes per state;
+// sharding the set lets exploration workers insert concurrently with
+// per-shard mutexes instead of one global lock.
+//
+// Fingerprinting trades a vanishing probability of unsoundness for this
+// speed: two distinct states colliding on all 64 bits would merge in the
+// visited set (Murphi's hash compaction makes the same trade). By the
+// birthday bound (≈ n²/2⁶⁵) a million-state exploration has a collision
+// probability around 3·10⁻⁸.
+package statespace
+
+// Fingerprint is the 64-bit FNV-1a hash of a state's canonical key. Both
+// the sequential and the parallel exploration drivers key their visited
+// sets by Fingerprint, so they dedupe — and therefore count — states
+// identically.
+type Fingerprint uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// OfString fingerprints a canonical state key (FNV-1a, 64-bit).
+func OfString(s string) Fingerprint {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return Fingerprint(h)
+}

@@ -70,15 +70,32 @@ func Invert(perm []int) []int {
 	return r
 }
 
-// Canonicalizer computes canonical state keys. It caches the permutation set
-// for the scalarset size it was built with.
+// Canonicalizer computes canonical state keys. It caches the permutation
+// set for the scalarset size it was built with.
+//
+// A Canonicalizer is immutable after construction and safe for concurrent
+// use: the parallel exploration driver (internal/mc with Options.Workers >
+// 1) shares one canonicalizer across all workers. Key keeps no scratch
+// state on the receiver — every per-call buffer (the permuted state, its
+// key) is allocated on the calling worker's stack/heap, so workers never
+// contend.
 type Canonicalizer struct {
-	perms [][]int
+	perms [][]int // all permutations, identity first (Orbit)
+	nonID [][]int // non-identity permutations (Key hot path)
 }
 
 // NewCanonicalizer builds a canonicalizer for a scalarset of n agents.
 func NewCanonicalizer(n int) *Canonicalizer {
-	return &Canonicalizer{perms: Permutations(n)}
+	c := &Canonicalizer{perms: Permutations(n)}
+	// Filter the identity once at construction instead of re-testing every
+	// permutation on every Key call on the hot path.
+	c.nonID = make([][]int, 0, len(c.perms)-1)
+	for _, perm := range c.perms {
+		if !Identity(perm) {
+			c.nonID = append(c.nonID, perm)
+		}
+	}
+	return c
 }
 
 // Key returns the canonical key of s: the lexicographically smallest Key()
@@ -90,10 +107,7 @@ func (c *Canonicalizer) Key(s ts.State) string {
 		return s.Key()
 	}
 	best := s.Key()
-	for _, perm := range c.perms {
-		if Identity(perm) {
-			continue
-		}
+	for _, perm := range c.nonID {
 		if k := p.Permute(perm).Key(); k < best {
 			best = k
 		}

@@ -3,6 +3,7 @@ package symmetry_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -134,4 +135,30 @@ func TestNegativePanics(t *testing.T) {
 		}
 	}()
 	symmetry.Permutations(-1)
+}
+
+// TestCanonicalizerConcurrent exercises the goroutine-safety contract the
+// parallel exploration driver (internal/mc with Options.Workers > 1) relies
+// on: one shared Canonicalizer, many workers canonicalizing members of the
+// same orbit concurrently. Meaningful under -race.
+func TestCanonicalizerConcurrent(t *testing.T) {
+	c := symmetry.NewCanonicalizer(4)
+	base := &vecState{vals: []int{0, 1, 2, 1}}
+	want := c.Key(base)
+	perms := symmetry.Permutations(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := perms[(w*7+i)%len(perms)]
+				if got := c.Key(base.Permute(p)); got != want {
+					t.Errorf("worker %d: Key = %q, want %q", w, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

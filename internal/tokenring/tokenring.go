@@ -1,0 +1,88 @@
+// Package tokenring models a three-process token-ring mutual-exclusion
+// protocol in the lightweight frontend DSL (internal/dsl) — the third
+// synthesis domain next to cache coherence (internal/msi) and Peterson's
+// algorithm (internal/mutex).
+//
+// The processes share a mutual-exclusion token. The skeleton knows that the
+// token holder may enter and must leave its critical section, but two
+// decisions are holes: whether to release the token after the critical
+// section ("pass" vs "keep"), and in which ring direction to pass it
+// ("next" vs "prev"). Keeping the token starves the other processes —
+// rejected by per-process liveness goals; both ring directions are correct,
+// so the synthesizer reports exactly two solutions, a small demonstration
+// of the paper's observation that distinct solutions can be behaviourally
+// equivalent in quality.
+package tokenring
+
+import (
+	"fmt"
+
+	"verc3/internal/dsl"
+	"verc3/internal/ts"
+)
+
+// N is the ring size.
+const N = 3
+
+// ring is the global state: who holds the token and who is in its critical
+// section (-1 = nobody). EverCrit tracks per-process liveness ghosts.
+type ring struct {
+	Holder   int8
+	InCrit   int8
+	EverCrit [N]bool
+}
+
+func (r *ring) Key() string {
+	return fmt.Sprintf("%d/%d/%v", r.Holder, r.InCrit, r.EverCrit)
+}
+
+func (r *ring) Clone() ts.State { cp := *r; return &cp }
+
+// New assembles the system; sketch leaves the two actions as holes.
+func New(sketch bool) ts.System {
+	choose := func(env *ts.Env, hole string, acts []string, correct int) (int, error) {
+		if !sketch {
+			return correct, nil
+		}
+		return env.Choose(hole, acts)
+	}
+
+	b := dsl.NewBuilder[*ring]("token-ring", &ring{})
+	b.RuleSet(N, "p%d: enter critical section",
+		func(s *ring, i int) bool { return int(s.Holder) == i && s.InCrit == -1 },
+		func(s *ring, i int, _ *ts.Env) error {
+			s.InCrit = int8(i)
+			s.EverCrit[i] = true
+			return nil
+		})
+	b.RuleSet(N, "p%d: leave critical section",
+		func(s *ring, i int) bool { return int(s.InCrit) == i },
+		func(s *ring, i int, env *ts.Env) error {
+			s.InCrit = -1
+			release, err := choose(env, "after-crit", []string{"pass", "keep"}, 0)
+			if err != nil {
+				return err
+			}
+			if release == 1 {
+				return nil // keep the token
+			}
+			dir, err := choose(env, "pass-direction", []string{"next", "prev"}, 0)
+			if err != nil {
+				return err
+			}
+			if dir == 0 {
+				s.Holder = (s.Holder + 1) % N
+			} else {
+				s.Holder = (s.Holder + N - 1) % N
+			}
+			return nil
+		})
+	b.Invariant("crit-implies-holder", func(s *ring) bool {
+		return s.InCrit == -1 || s.InCrit == s.Holder
+	})
+	for i := 0; i < N; i++ {
+		i := i
+		b.Goal(fmt.Sprintf("p%d-eventually-enters", i), func(s *ring) bool { return s.EverCrit[i] })
+	}
+	return b.System()
+}

@@ -1,0 +1,40 @@
+package tokenring_test
+
+import (
+	"testing"
+
+	"verc3/internal/core"
+	"verc3/internal/mc"
+	"verc3/internal/tokenring"
+)
+
+// TestCompleteRingVerifies pins the complete protocol's verdict and state
+// count (12 states: holder × critical-section status × liveness ghosts
+// along the canonical rotation).
+func TestCompleteRingVerifies(t *testing.T) {
+	res, err := mc.Check(tokenring.New(false), mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Success {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Stats.VisitedStates != 12 {
+		t.Errorf("states = %d, want 12", res.Stats.VisitedStates)
+	}
+}
+
+// TestSketchSynthesizesBothDirections checks the synthesizer finds exactly
+// the two pass directions and rejects the starving "keep" variants.
+func TestSketchSynthesizesBothDirections(t *testing.T) {
+	res, err := core.Synthesize(tokenring.New(true), core.Config{Mode: core.ModePrune})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Holes != 2 {
+		t.Fatalf("holes = %d, want 2", res.Stats.Holes)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %d, want 2 (next and prev)", len(res.Solutions))
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"verc3/internal/msi"
 	"verc3/internal/mutex"
+	"verc3/internal/tokenring"
 	"verc3/internal/toy"
 	"verc3/internal/ts"
 )
@@ -30,9 +31,11 @@ var builders = map[string]func(Params) ts.System{
 	"msi-large": func(p Params) ts.System {
 		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Large})
 	},
-	"peterson":        func(Params) ts.System { return mutex.New(false) },
-	"peterson-sketch": func(Params) ts.System { return mutex.New(true) },
-	"fig2":            func(Params) ts.System { return toy.Figure2() },
+	"peterson":          func(Params) ts.System { return mutex.New(false) },
+	"peterson-sketch":   func(Params) ts.System { return mutex.New(true) },
+	"fig2":              func(Params) ts.System { return toy.Figure2() },
+	"token-ring":        func(Params) ts.System { return tokenring.New(false) },
+	"token-ring-sketch": func(Params) ts.System { return tokenring.New(true) },
 }
 
 // Get builds the named system.
