@@ -277,6 +277,46 @@ func BenchmarkExploreMSI4Parallel(b *testing.B) {
 	exploreBench(b, 4, parallelWorkers())
 }
 
+// --- Trace-optional memory ablation (experiment E11) ---
+//
+// The same complete-protocol exploration with the parent-linked trace
+// store on versus off. With RecordTrace off the checker retains only the
+// 8-byte fingerprint per state plus the transient frontier — no per-state
+// node entries — which is the configuration every synthesis dispatch runs
+// in. retainedB/state is the structural estimate from Result.Space;
+// allocs/op (via -benchmem) shows the per-state trace-node allocation
+// disappearing.
+
+// traceBench explores the complete MSI protocol once per iteration with
+// the given trace setting.
+func traceBench(b *testing.B, record bool) {
+	b.Helper()
+	sys := msi.New(msi.Config{Caches: *benchCaches, Variant: msi.Complete})
+	b.ReportAllocs()
+	var last *mc.Result
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(sys, mc.Options{Symmetry: true, RecordTrace: record})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != mc.Success {
+			b.Fatalf("verdict = %v", res.Verdict)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Space.BytesRetained)/float64(last.Space.States), "retainedB/state")
+	b.ReportMetric(float64(last.Space.PeakFrontier), "peak-frontier")
+	b.ReportMetric(float64(last.Space.TraceNodes), "trace-nodes")
+}
+
+// BenchmarkExploreMSITraceOn pays the O(states) trace store for replayable
+// counterexamples.
+func BenchmarkExploreMSITraceOn(b *testing.B) { traceBench(b, true) }
+
+// BenchmarkExploreMSITraceOff is the fingerprint-only regime (the
+// synthesis default): trace-nodes must report 0.
+func BenchmarkExploreMSITraceOff(b *testing.B) { traceBench(b, false) }
+
 // --- Visited-set keying: string keys vs 64-bit fingerprints ---
 //
 // The seed checker deduplicated states in a map[string]struct{}, retaining

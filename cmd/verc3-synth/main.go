@@ -5,7 +5,8 @@
 // Usage:
 //
 //	verc3-synth -system msi-small [-caches 2] [-mode prune|naive]
-//	            [-workers 4] [-mc-workers 1] [-style full|trace] [-max-eval N] [-v]
+//	            [-workers 4] [-mc-workers 1] [-style full|trace] [-max-eval N]
+//	            [-stats] [-v]
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		mcWorkers = flag.Int("mc-workers", 1, "intra-check exploration workers per dispatch")
 		symmetry  = flag.Bool("symmetry", true, "enable symmetry reduction in the model checker")
 		maxEval   = flag.Int64("max-eval", 0, "stop after N model-checker dispatches (0 = run to completion)")
+		stats     = flag.Bool("stats", false, "print the aggregated exploration memory profile")
 		verbose   = flag.Bool("v", false, "log rounds and solutions as they are found")
 	)
 	flag.Parse()
@@ -42,7 +44,7 @@ func main() {
 	cfg := core.Config{
 		Workers:        *workers,
 		MCWorkers:      *mcWorkers,
-		MC:             mc.Options{Symmetry: *symmetry},
+		MC:             mc.Options{Symmetry: *symmetry, MemStats: *stats},
 		MaxEvaluations: *maxEval,
 	}
 	switch *mode {
@@ -90,9 +92,16 @@ func main() {
 		fmt.Printf("NOTE: truncated by -max-eval=%d\n", *maxEval)
 	}
 	fmt.Printf("elapsed:          %v\n", time.Since(start).Round(time.Millisecond))
+	if *stats {
+		fmt.Printf("space:            %s\n", st.Space)
+	}
 	fmt.Printf("solutions:        %d\n", len(res.Solutions))
 	for i, sol := range res.Solutions {
-		fmt.Printf("  #%d (%d states): %s\n", i+1, sol.VisitedStates, res.Describe(i))
+		mark := ""
+		if sol.Reverified {
+			mark = ", reverified"
+		}
+		fmt.Printf("  #%d (%d states%s): %s\n", i+1, sol.VisitedStates, mark, res.Describe(i))
 	}
 	if len(res.Solutions) == 0 && !st.Truncated {
 		os.Exit(1)

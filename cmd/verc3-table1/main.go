@@ -11,7 +11,8 @@
 //
 // Usage:
 //
-//	verc3-table1 [-caches 2] [-workers 4] [-mc-workers 1] [-naive-large-max 20000] [-full] [-skip-naive]
+//	verc3-table1 [-caches 2] [-workers 4] [-mc-workers 1] [-naive-large-max 20000]
+//	             [-full] [-skip-naive] [-stats]
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 		naiveLgMax = flag.Int64("naive-large-max", 20000, "dispatch cap for the MSI-large naive row")
 		full       = flag.Bool("full", false, "run every configuration to completion (MSI-large naive: days)")
 		skipNaive  = flag.Bool("skip-naive", false, "skip both naive rows entirely")
+		stats      = flag.Bool("stats", false, "print each row's aggregated exploration memory profile")
 	)
 	flag.Parse()
 
@@ -71,7 +73,7 @@ func main() {
 			Mode:           r.mode,
 			Workers:        r.workers,
 			MCWorkers:      *mcWorkers,
-			MC:             mc.Options{Symmetry: true},
+			MC:             mc.Options{Symmetry: true, MemStats: *stats},
 			MaxEvaluations: r.truncate,
 		})
 		if err != nil {
@@ -108,6 +110,15 @@ func main() {
 		}
 		fmt.Printf("%-34s %6d %14d %18s %12s %10d %14s\n",
 			r.name, st.Holes, st.CandidateSpace, pat, ev, len(r.res.Solutions), tm)
+	}
+	if *stats {
+		fmt.Println()
+		for _, r := range rows {
+			if r.res == nil {
+				continue
+			}
+			fmt.Printf("space %-28s %s\n", r.name+":", r.res.Stats.Space)
+		}
 	}
 
 	// Derived headline metrics, mirroring §III's discussion.

@@ -1,11 +1,12 @@
 // Command verc3-verify model-checks a built-in system and reports the
 // verdict, exploration statistics and — on failure — a minimal
-// counterexample trace.
+// counterexample trace. Synthesis sketches (systems with unassigned holes)
+// are refused with a pointer to verc3-synth.
 //
 // Usage:
 //
 //	verc3-verify -system msi-complete [-caches 3] [-symmetry=false] [-states]
-//	             [-dfs] [-workers N] [-shard-bits B]
+//	             [-dfs] [-workers N] [-shard-bits B] [-no-trace] [-stats]
 package main
 
 import (
@@ -31,9 +32,18 @@ func main() {
 		maxSt     = flag.Int("max-states", 0, "state cap (0 = unlimited)")
 		workers   = flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS, <=1 = sequential)")
 		shardBits = flag.Int("shard-bits", 0, "log2 shards of the parallel visited set (0 = default)")
+		noTrace   = flag.Bool("no-trace", false, "skip trace recording (fingerprint-only memory; failures carry no counterexample)")
+		stats     = flag.Bool("stats", false, "print the exploration memory profile (peak frontier, trace store, allocations)")
 	)
 	flag.Parse()
 
+	if zoo.IsSketch(*system) {
+		fmt.Fprintf(os.Stderr,
+			"verc3-verify: system %q is a synthesis sketch: its transitions contain unassigned holes,\n"+
+				"which plain model checking cannot resolve. Complete it with the synthesis tool instead:\n\n"+
+				"\tverc3-synth -system %s\n", *system, *system)
+		os.Exit(2)
+	}
 	sys, err := zoo.Get(*system, zoo.Params{Caches: *caches})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
@@ -44,10 +54,11 @@ func main() {
 	}
 	opt := mc.Options{
 		Symmetry:    *symmetry,
-		RecordTrace: true,
+		RecordTrace: !*noTrace,
 		MaxStates:   *maxSt,
 		Workers:     *workers,
 		ShardBits:   *shardBits,
+		MemStats:    *stats,
 	}
 	if *dfs {
 		opt.Order = mc.DFS
@@ -64,6 +75,9 @@ func main() {
 	fmt.Printf("transitions: %d\n", res.Stats.FiredTransitions)
 	fmt.Printf("max depth:   %d\n", res.Stats.MaxDepth)
 	fmt.Printf("elapsed:     %v\n", time.Since(start).Round(time.Millisecond))
+	if *stats {
+		fmt.Printf("space:       %s\n", res.Space)
+	}
 	if res.Verdict == mc.Failure {
 		fmt.Println()
 		fmt.Print(trace.Format(res.Failure, trace.Options{ShowStates: *states}))

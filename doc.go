@@ -1,21 +1,54 @@
 // Package verc3 is a Go reproduction of "VerC3: A Library for Explicit
 // State Synthesis of Concurrent Systems" (Elver, Banks, Jackson &
-// Nagarajan, DATE 2018).
+// Nagarajan, DATE 2018), grown into a parallel, memory-lean synthesis and
+// model-checking engine.
 //
-// The library lives under internal/: the guarded-command modelling layer
-// (internal/ts) with its lightweight frontend DSL (internal/dsl), the
-// embedded explicit-state model checker (internal/mc) on top of the
-// state-space exploration substrate — 64-bit state fingerprints, a sharded
-// visited set and a level-parallel BFS frontier (internal/statespace) —
-// with scalarset symmetry reduction (internal/symmetry), the synthesis
-// engine with lazy hole discovery and candidate pruning (internal/core),
-// the unordered interconnect substrate (internal/network), the case
-// studies (internal/msi, internal/mutex, internal/tokenring,
-// internal/toy), counterexample rendering (internal/trace) and the named
-// system registry (internal/zoo). Command-line tools are under cmd/ and
-// runnable examples under examples/.
+// # Layering
 //
-// The benchmark harness in bench_test.go regenerates every table and figure
-// of the paper's evaluation; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for paper-versus-measured results.
+// The library lives under internal/, lowest layer first:
+//
+//   - internal/ts and internal/dsl — the guarded-command modelling layer: a
+//     Murphi-like embedded DSL in which systems describe initial states,
+//     enabled transitions, invariants, reachability goals and synthesis
+//     holes (ts.Env.Choose).
+//   - internal/statespace — the exploration substrate: 64-bit FNV-1a state
+//     fingerprints, a sharded concurrent visited set, a ring-buffer
+//     frontier queue, a level-synchronous parallel work distributor, the
+//     optional parent-linked trace store, and the Stats memory profile.
+//   - internal/symmetry — scalarset canonicalization (goroutine-safe), used
+//     for symmetry reduction of states implementing ts.Permutable.
+//   - internal/mc — the embedded explicit-state model checker: sequential
+//     (deterministic, minimal BFS counterexamples) and level-parallel BFS
+//     drivers over the shared fingerprint keying scheme, three-valued
+//     verdicts, deadlock and goal checking.
+//   - internal/core — the paper's contribution: synthesis by lazy hole
+//     discovery and candidate pruning, with cross-candidate and intra-check
+//     parallelism sharing one budget (core.SplitParallelism).
+//   - internal/msi, internal/mutex, internal/tokenring, internal/toy — the
+//     case studies — over internal/network, the unordered interconnect;
+//     internal/trace renders counterexamples; internal/zoo is the named
+//     system registry (with sketch metadata) behind the command-line tools.
+//
+// Command-line tools are under cmd/ (verc3-verify, verc3-synth,
+// verc3-table1, verc3-fig2; all support -stats) and runnable demos under
+// examples/.
+//
+// # Trace-optional exploration
+//
+// Exploration is memory-lean by default: the frontier carries (state,
+// depth, usage-mask) values directly and releases each state once
+// expanded, so a run without mc.Options.RecordTrace retains only the
+// 8-byte fingerprint per visited state — the regime every synthesis
+// dispatch runs in. Turning RecordTrace on allocates a parent-linked trace
+// node per state, buying replayable (and, sequentially, minimal)
+// counterexamples for O(states) memory. mc.Result.Space reports which
+// price was paid (states, peak frontier, trace nodes, bytes retained);
+// the synthesis engine aggregates it per run and re-checks every reported
+// solution with traces on, so fingerprint collisions during the traceless
+// search cannot survive into the results unnoticed.
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation plus this repo's ablations (parallel
+// drivers, visited-set keying, trace on/off memory); see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-versus-measured results.
 package verc3

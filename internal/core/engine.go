@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"verc3/internal/mc"
+	"verc3/internal/statespace"
 	"verc3/internal/ts"
 )
 
@@ -89,9 +90,11 @@ type Config struct {
 	// check back to the sequential driver.
 	MCWorkers int
 	// MC carries the base model-checker options (symmetry, state caps,
-	// deadlock checking, search order). Env, Usage, RecordTrace and Workers
-	// are managed by the engine and must be left zero (set Config.MCWorkers
-	// for intra-check parallelism).
+	// deadlock checking, search order, MemStats for Stats.Space allocation
+	// counters). Env, Usage, RecordTrace and Workers are managed by the
+	// engine and must be left zero (set Config.MCWorkers for intra-check
+	// parallelism; trace recording is off during the search and on for the
+	// final per-solution re-verification).
 	MC mc.Options
 	// MaxEvaluations, when positive, stops synthesis after that many
 	// model-checker dispatches (Stats.Truncated is set). Used to run scaled
@@ -130,6 +133,15 @@ type Solution struct {
 	// VisitedStates is the number of states the verifying run explored. The
 	// paper uses this to group behaviourally equivalent solutions.
 	VisitedStates int
+	// Reverified reports that the final re-check with trace recording on
+	// (see Synthesize) confirmed the solution. Synthesis dispatches run
+	// traceless for memory, deduplicating by 64-bit fingerprints; the
+	// trace-on re-check makes a fingerprint collision during the search
+	// unable to smuggle a wrong candidate into the results — candidates
+	// whose re-check fails are dropped from Solutions, so the flag is true
+	// on every returned solution and exists as the attestation of that
+	// pass.
+	Reverified bool
 }
 
 // Stats aggregates a synthesis run.
@@ -159,6 +171,15 @@ type Stats struct {
 	Truncated bool
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
+	// Space aggregates the exploration memory profiles of all model-checker
+	// dispatches: States/Transitions/TraceNodes and the allocation counters
+	// sum over dispatches, while PeakFrontier and BytesRetained report the
+	// largest single dispatch — a per-dispatch peak, not a process
+	// high-water mark (with Workers > 1, concurrent dispatches' footprints
+	// coexist and the allocation counters also overlap; see
+	// statespace.Stats). Synthesis runs traceless, so TraceNodes counts
+	// only the final per-solution re-verification runs.
+	Space statespace.Stats
 }
 
 // Result is the outcome of Synthesize.
@@ -199,6 +220,8 @@ type engine struct {
 	fatal      atomic.Pointer[errBox]
 	solMu      sync.Mutex
 	solutions  map[string]Solution
+	spaceMu    sync.Mutex
+	space      statespace.Stats // merged per-dispatch memory profiles
 	traceGen   bool
 	checkCount atomic.Int64 // dispatch admission counter for MaxEvaluations
 	lastK      int          // prefix size of the previous round (-1 before any)
@@ -211,6 +234,13 @@ type errBox struct{ err error }
 // sys must be stateless: Transitions and all guards/actions may be invoked
 // concurrently (from Workers goroutines) and must derive successors only by
 // cloning, never by mutating shared structures.
+//
+// Every model-checker dispatch of the search runs with trace recording off:
+// pruning needs only verdicts and usage masks, so candidates explore in the
+// fingerprint-only memory regime (no per-state node records). After the
+// search, each surviving solution is re-checked once with RecordTrace on —
+// exercising the counterexample machinery and confirming the verdict with
+// full per-state bookkeeping — and marked Solution.Reverified on success.
 func Synthesize(sys ts.System, cfg Config) (*Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -249,7 +279,52 @@ func Synthesize(sys ts.System, cfg Config) (*Result, error) {
 	if eb := e.fatal.Load(); eb != nil {
 		return nil, eb.err
 	}
+	e.reverify()
+	if eb := e.fatal.Load(); eb != nil {
+		return nil, eb.err
+	}
 	return e.result(rounds, time.Since(start)), nil
+}
+
+// reverify re-checks every recorded solution with trace recording on (see
+// Synthesize). Re-checks are not synthesis dispatches: they do not count
+// against MaxEvaluations, are invisible to OnEvaluate, and leave Evaluated
+// and the verdict counters untouched; their memory profiles do merge into
+// Stats.Space (they are where TraceNodes come from). A solution whose
+// re-check does not come back Success is removed from the results — the
+// traceless search was fooled (a fingerprint collision merged states under
+// this candidate), and the documented guarantee is that such a candidate
+// cannot survive into Result.Solutions.
+func (e *engine) reverify() {
+	e.solMu.Lock()
+	defer e.solMu.Unlock()
+	for key, sol := range e.solutions {
+		rc := &runChooser{reg: e.reg, assign: sol.Assign, naive: e.cfg.Mode == ModeNaive}
+		opt := e.cfg.MC
+		opt.Env = ts.NewEnv(rc)
+		opt.RecordTrace = true
+		res, err := mc.Check(e.sys, opt)
+		if err != nil {
+			e.fatal.CompareAndSwap(nil, &errBox{err: err})
+			return
+		}
+		e.mergeSpace(res.Space)
+		if res.Verdict == mc.Success {
+			sol.Reverified = true
+			e.solutions[key] = sol
+		} else {
+			delete(e.solutions, key)
+			e.logf("dropping solution %s: trace-on re-verification returned %v",
+				formatAssign(sol.Assign, e.reg.holes()), res.Verdict)
+		}
+	}
+}
+
+// mergeSpace folds one dispatch's memory profile into the aggregate.
+func (e *engine) mergeSpace(s statespace.Stats) {
+	e.spaceMu.Lock()
+	e.space.Merge(s)
+	e.spaceMu.Unlock()
 }
 
 func (e *engine) logf(format string, args ...any) {
@@ -292,6 +367,7 @@ func (e *engine) dispatch(assign []int, mcWorkers int) {
 	}
 	e.evaluated.Add(1)
 	e.totalSeen.Add(int64(res.Stats.VisitedStates))
+	e.mergeSpace(res.Space)
 	switch res.Verdict {
 	case mc.Success:
 		e.successes.Add(1)
@@ -581,6 +657,7 @@ func (e *engine) result(rounds int, elapsed time.Duration) *Result {
 		Rounds:             rounds,
 		Truncated:          e.stop.Load() && e.fatal.Load() == nil && e.cfg.MaxEvaluations > 0,
 		Elapsed:            elapsed,
+		Space:              e.space,
 	}
 	return r
 }

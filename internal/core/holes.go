@@ -16,6 +16,22 @@
 // minimal error trace only to the bound holes, and the failing candidate
 // configuration becomes a pruning pattern that rules out every extension
 // without further model checking.
+//
+// Synthesis dispatches run the model checker traceless (RecordTrace off):
+// pruning needs only verdicts and per-firing hole-usage masks, never the
+// counterexample states themselves, so each of the (potentially millions
+// of) runs explores in the fingerprint-only memory regime. After the
+// search, every surviving solution is re-checked once with trace recording
+// on and marked Solution.Reverified — the full-bookkeeping confirmation
+// that a 64-bit fingerprint collision during the search did not merge
+// states under a wrong candidate. Stats.Space aggregates the memory
+// profiles of all dispatches.
+//
+// Parallelism is budgeted as Workers×MCWorkers (see Config and
+// SplitParallelism): cross-candidate workers each run independent
+// model-checker dispatches and fill first; intra-check exploration workers
+// (the checker's own Options.Workers) absorb the idle share when a round
+// has fewer candidates than workers.
 package core
 
 import (

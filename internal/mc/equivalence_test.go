@@ -1,0 +1,182 @@
+package mc_test
+
+// Cross-driver, cross-configuration equivalence tests for the
+// trace-optional exploration representation. The CI workflow runs
+// everything matching TestZooEquivalence as a dedicated job step.
+
+import (
+	"testing"
+
+	"verc3/internal/mc"
+	"verc3/internal/toy"
+	"verc3/internal/trace"
+	"verc3/internal/ts"
+	"verc3/internal/zoo"
+)
+
+// TestZooEquivalenceTraceOnOff is the headline invariance check for the
+// trace-optional refactor: for every registered system, every combination
+// of driver (1 and 8 workers) and RecordTrace on/off must report the same
+// verdict and the same exploration statistics — the trace store is
+// bookkeeping only and must never influence the search. Sketch systems are
+// explored under an all-wildcard environment (every hole aborts its
+// branch), which still explores a deterministic sub-space.
+func TestZooEquivalenceTraceOnOff(t *testing.T) {
+	for _, name := range zoo.Names() {
+		t.Run(name, func(t *testing.T) {
+			type combo struct {
+				workers int
+				record  bool
+			}
+			var base *mc.Result
+			for _, cb := range []combo{{1, false}, {1, true}, {8, false}, {8, true}} {
+				sys, err := zoo.Get(name, zoo.Params{Caches: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := mc.Check(sys, mc.Options{
+					Symmetry:    true,
+					Env:         ts.NewEnv(wildcardChooser{}), // complete models never call Choose
+					Workers:     cb.workers,
+					RecordTrace: cb.record,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d record=%v: %v", cb.workers, cb.record, err)
+				}
+				if !cb.record && res.Space.TraceNodes != 0 {
+					t.Errorf("workers=%d: %d trace nodes allocated with RecordTrace off", cb.workers, res.Space.TraceNodes)
+				}
+				if cb.record && res.Space.TraceNodes != res.Stats.VisitedStates {
+					t.Errorf("workers=%d: %d trace nodes for %d states with RecordTrace on",
+						cb.workers, res.Space.TraceNodes, res.Stats.VisitedStates)
+				}
+				if res.Space.States != res.Stats.VisitedStates {
+					t.Errorf("workers=%d record=%v: Space.States=%d vs VisitedStates=%d",
+						cb.workers, cb.record, res.Space.States, res.Stats.VisitedStates)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if res.Verdict != base.Verdict {
+					t.Errorf("workers=%d record=%v: verdict %v, want %v", cb.workers, cb.record, res.Verdict, base.Verdict)
+				}
+				if res.Stats.VisitedStates != base.Stats.VisitedStates {
+					t.Errorf("workers=%d record=%v: states %d, want %d", cb.workers, cb.record, res.Stats.VisitedStates, base.Stats.VisitedStates)
+				}
+				if res.Stats.FiredTransitions != base.Stats.FiredTransitions {
+					t.Errorf("workers=%d record=%v: transitions %d, want %d", cb.workers, cb.record, res.Stats.FiredTransitions, base.Stats.FiredTransitions)
+				}
+				if res.Stats.MaxDepth != base.Stats.MaxDepth {
+					t.Errorf("workers=%d record=%v: depth %d, want %d", cb.workers, cb.record, res.Stats.MaxDepth, base.Stats.MaxDepth)
+				}
+				if res.Stats.WildcardAborts != base.Stats.WildcardAborts {
+					t.Errorf("workers=%d record=%v: aborts %d, want %d", cb.workers, cb.record, res.Stats.WildcardAborts, base.Stats.WildcardAborts)
+				}
+			}
+		})
+	}
+}
+
+// TestZooEquivalenceFailureReplay checks that a failing system still
+// yields a valid, replayable counterexample when traces are on — under
+// both drivers — and that with traces off the same failure is reported
+// with a nil trace (the memory saving must not change the verdict).
+func TestZooEquivalenceFailureReplay(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		g := line(6, true)
+		res, err := mc.Check(g, mc.Options{RecordTrace: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != mc.Failure || res.Failure.Kind != mc.FailInvariant {
+			t.Fatalf("workers=%d: got %v / %+v, want invariant failure", workers, res.Verdict, res.Failure)
+		}
+		last := replayTrace(t, g, res.Failure)
+		for _, inv := range g.Invariants() {
+			if inv.Name == res.Failure.Name && inv.Holds(last) {
+				t.Errorf("workers=%d: final trace state does not violate %q", workers, res.Failure.Name)
+			}
+		}
+
+		off, err := mc.Check(line(6, true), mc.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Verdict != mc.Failure || off.Failure.Kind != mc.FailInvariant {
+			t.Fatalf("workers=%d traces off: got %v / %+v", workers, off.Verdict, off.Failure)
+		}
+		if off.Failure.Trace != nil {
+			t.Errorf("workers=%d: trace recorded with RecordTrace off", workers)
+		}
+		if off.Space.TraceNodes != 0 {
+			t.Errorf("workers=%d: %d trace nodes with RecordTrace off", workers, off.Space.TraceNodes)
+		}
+	}
+}
+
+// TestZooEquivalenceTraceFormatGolden pins the rendered sequential BFS
+// counterexample to the exact pre-refactor bytes: the trace-store
+// representation must not change what a designer sees.
+func TestZooEquivalenceTraceFormatGolden(t *testing.T) {
+	//     0 → 1 → 2 → 3(bad)
+	//     0 ----------→ 3 (direct)
+	g := &toy.Graph{SysName: "twopaths", Init: []int{0}, Nodes: []toy.Node{
+		{Plain: []int{1, 3}},
+		{Plain: []int{2}},
+		{Plain: []int{3}},
+		{Bad: true},
+	}}
+	res, err := mc.Check(g, mc.Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Failure {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	const want = "invariant violation: no-bad-state\n" +
+		"  0. (initial state)\n" +
+		"     n0\n" +
+		"  1. n0→n3\n" +
+		"     n3\n"
+	if got := trace.Format(res.Failure, trace.Options{ShowStates: true}); got != want {
+		t.Errorf("trace rendering changed:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestNoTraceMemoryReduction pins the PR's acceptance criterion: with
+// RecordTrace off, exploring the complete MSI protocol allocates no
+// per-state trace/node entries and retains at least 40% fewer bytes per
+// state than the trace-recording configuration (which matches what the
+// pre-refactor node table always paid, trace or no trace).
+func TestNoTraceMemoryReduction(t *testing.T) {
+	build := func() ts.System {
+		sys, err := zoo.Get("msi-complete", zoo.Params{Caches: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	on, err := mc.Check(build(), mc.Options{Symmetry: true, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := mc.Check(build(), mc.Options{Symmetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Verdict != mc.Success || off.Verdict != mc.Success {
+		t.Fatalf("verdicts: on=%v off=%v", on.Verdict, off.Verdict)
+	}
+	if off.Space.TraceNodes != 0 {
+		t.Fatalf("RecordTrace off allocated %d per-state node entries", off.Space.TraceNodes)
+	}
+	states := float64(on.Space.States)
+	perOn := float64(on.Space.BytesRetained) / states
+	perOff := float64(off.Space.BytesRetained) / states
+	t.Logf("bytes retained per state: trace on %.1f, trace off %.1f (%.0f%% reduction)",
+		perOn, perOff, 100*(1-perOff/perOn))
+	if perOff > 0.6*perOn {
+		t.Errorf("bytes/state with traces off = %.1f, want <= 60%% of trace-on %.1f", perOff, perOn)
+	}
+}

@@ -6,27 +6,54 @@
 // complete exploration — checking reachability goals ("all stable states
 // must be visited at least once").
 //
-// Two exploration drivers share that keying scheme (internal/statespace):
-// the sequential driver (Options.Workers <= 1) with deterministic BFS/DFS
-// order and minimal BFS counterexamples, and a level-synchronous parallel
-// BFS driver (Options.Workers > 1) that spreads each frontier level over a
-// worker pool and dedupes through a sharded visited set. Complete
-// explorations report identical reachable-state counts under both drivers.
+// # Keying scheme
 //
-// BFS matters to the synthesis layer: the first property violation found is
-// a minimal-length error trace, and the paper's candidate-pruning insight is
-// that a minimal trace of a faulty protocol rarely exercises every hole, so
-// failures generalize to every candidate sharing the trace's hole subset.
+// Both exploration drivers share one keying scheme (internal/statespace): a
+// state's canonical key — its Key() string, after symmetry canonicalization
+// when Options.Symmetry is on — is hashed to a 64-bit FNV-1a fingerprint,
+// and only the fingerprint is stored. The visited set is therefore 8 bytes
+// per state, and because the sequential and parallel drivers dedupe through
+// the same fingerprints, complete explorations report identical
+// reachable-state counts under both.
 //
-// The checker returns a three-valued verdict (see Verdict): during synthesis
-// a branch that reaches a hole still assigned the wildcard action is aborted,
-// and if no failure is found elsewhere the run is "unknown" rather than a
-// success.
+// # Trace-optional exploration
+//
+// The search is trace-optional: the frontier carries (state, depth, usage
+// mask) values directly, and states are released as they are expanded. With
+// Options.RecordTrace off — the synthesis default, where millions of
+// dispatches only need verdicts and usage masks — no per-state bookkeeping
+// outlives a state's expansion, so retained memory is the visited set plus
+// the frontier high-water mark rather than O(states) node records. With
+// RecordTrace on, a statespace.TraceStore allocates one parent-linked node
+// per discovered state, and failures carry a replayable counterexample
+// rebuilt from the parent chain. Result.Space profiles whichever regime ran
+// (states, transitions, peak frontier, trace nodes, bytes retained).
+//
+// # Drivers, Workers and ShardBits
+//
+// Options.Workers selects the driver. Workers <= 1 runs the sequential
+// driver: deterministic BFS/DFS order and minimal BFS counterexamples — the
+// property the paper's candidate pruning relies on, since a minimal trace
+// of a faulty protocol rarely exercises every hole, so its failure
+// generalizes to every candidate sharing the trace's hole subset. Workers >
+// 1 runs the level-synchronous parallel BFS driver: each frontier level is
+// spread over the worker pool and successors dedupe through a sharded
+// visited set with 2^Options.ShardBits lock-striped shards. DFS order and
+// usage tracking force the sequential driver.
+//
+// # Verdicts
+//
+// The checker returns a three-valued verdict (see Verdict): during
+// synthesis a branch that reaches a hole still assigned the wildcard action
+// is aborted, and if no failure is found elsewhere the run is "unknown"
+// rather than a success.
 package mc
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"unsafe"
 
 	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
@@ -133,6 +160,12 @@ type Result struct {
 	WildcardHit bool
 	// CapHit reports that the MaxStates cap stopped exploration.
 	CapHit bool
+	// Space is the memory profile of the exploration: visited-set size,
+	// frontier high-water mark, trace-store nodes (always 0 with
+	// RecordTrace off) and the structural bytes-retained estimate. The
+	// allocation counters (Mallocs/AllocBytes) are populated only under
+	// Options.MemStats.
+	Space statespace.Stats
 }
 
 // UsageTracker lets the synthesis layer observe which holes each transition
@@ -175,8 +208,10 @@ type Options struct {
 	// MaxStates caps the number of visited states (0 = unlimited). Hitting
 	// the cap downgrades a would-be success to Unknown.
 	MaxStates int
-	// RecordTrace keeps per-state parent pointers so failures carry a
-	// counterexample. Costs memory proportional to the state space.
+	// RecordTrace allocates a parent-linked trace-store node per discovered
+	// state so failures carry a replayable counterexample. Costs O(states)
+	// memory; with it off (the synthesis default) the checker retains only
+	// the 8-byte fingerprint per state plus the transient frontier.
 	RecordTrace bool
 	// Order selects BFS (default) or DFS.
 	Order SearchOrder
@@ -196,14 +231,26 @@ type Options struct {
 	// ShardBits is log2 of the parallel visited set's shard count
 	// (0 = statespace.DefaultShardBits). Ignored by the sequential driver.
 	ShardBits int
+	// MemStats additionally collects allocation counters
+	// (runtime.ReadMemStats deltas) into Result.Space. ReadMemStats stops
+	// the world, so leave this off in the synthesis inner loop; the cmd/
+	// tools set it for their -stats flag. The deltas are process-global:
+	// they attribute cleanly only when nothing else allocates during the
+	// run (concurrent synthesis dispatches inflate each other's counts).
+	MemStats bool
 }
 
-type node struct {
-	state  ts.State
-	parent int // index into nodes; -1 for initial states
-	rule   string
-	depth  int
-	mask   uint64 // holes consulted along the path here
+// item is one frontier entry of the sequential driver: the state itself
+// with its BFS depth and the accumulated hole-usage mask. This is the
+// trace-optional representation — with RecordTrace off the item is
+// everything the checker holds for a state (and it is dropped once the
+// state is expanded); with it on, node additionally points into the
+// parent-linked trace store.
+type item struct {
+	state ts.State
+	node  *statespace.TraceNode[ts.State] // nil unless RecordTrace
+	depth int
+	mask  uint64
 }
 
 type checker struct {
@@ -214,9 +261,10 @@ type checker struct {
 	goals []ts.ReachGoal
 	quies ts.QuiescentReporter
 
-	visited map[statespace.Fingerprint]struct{}
-	nodes   []node
-	goalHit []bool
+	visited  map[statespace.Fingerprint]struct{}
+	traces   *statespace.TraceStore[ts.State]
+	frontier statespace.Queue[item]
+	goalHit  []bool
 
 	res Result
 }
@@ -227,6 +275,25 @@ type checker struct {
 // transition errors other than ts.ErrWildcard); property violations are
 // reported in the Result, not as errors.
 func Check(sys ts.System, opt Options) (*Result, error) {
+	var before runtime.MemStats
+	if opt.MemStats {
+		runtime.ReadMemStats(&before)
+	}
+	res, err := check(sys, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MemStats {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		res.Space.Mallocs = after.Mallocs - before.Mallocs
+		res.Space.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	}
+	return res, nil
+}
+
+// check dispatches to the selected exploration driver.
+func check(sys ts.System, opt Options) (*Result, error) {
 	if useParallel(opt) {
 		return checkParallel(sys, opt)
 	}
@@ -234,6 +301,7 @@ func Check(sys ts.System, opt Options) (*Result, error) {
 		sys:     sys,
 		opt:     opt,
 		visited: make(map[statespace.Fingerprint]struct{}, 1024),
+		traces:  statespace.NewTraceStore[ts.State](opt.RecordTrace),
 	}
 	c.invs = sys.Invariants()
 	if gr, ok := sys.(ts.GoalReporter); ok {
@@ -247,6 +315,11 @@ func Check(sys ts.System, opt Options) (*Result, error) {
 	if err := c.run(); err != nil {
 		return nil, err
 	}
+	c.res.Space.States = len(c.visited)
+	c.res.Space.Transitions = c.res.Stats.FiredTransitions
+	c.res.Space.PeakFrontier = c.frontier.Peak()
+	c.res.Space.TraceNodes = c.traces.Nodes()
+	c.res.Space.SetRetained(unsafe.Sizeof(item{}), c.traces.NodeBytes())
 	return &c.res, nil
 }
 
@@ -287,67 +360,59 @@ func stateFingerprint(canon *symmetry.Canonicalizer, s ts.State) statespace.Fing
 	return statespace.OfString(s.Key())
 }
 
-// enqueue registers s if unseen and returns (index, true) when new.
-func (c *checker) enqueue(s ts.State, parent int, rule string, depth int, mask uint64) (int, bool) {
+// tracePath converts a trace-store parent chain into initial→violation
+// counterexample steps.
+func tracePath(n *statespace.TraceNode[ts.State]) []TraceStep {
+	chain := n.Path()
+	out := make([]TraceStep, len(chain))
+	for i, link := range chain {
+		out[i] = TraceStep{Rule: link.Rule, State: link.State}
+	}
+	return out
+}
+
+// enqueue registers s if unseen and returns its frontier item and whether
+// it was fresh. The trace store allocates a node only under RecordTrace.
+func (c *checker) enqueue(s ts.State, parent *statespace.TraceNode[ts.State], rule string, depth int, mask uint64) (item, bool) {
 	fp := stateFingerprint(c.canon, s)
 	if _, seen := c.visited[fp]; seen {
-		return -1, false
+		return item{}, false
 	}
 	c.visited[fp] = struct{}{}
-	n := node{state: s, parent: parent, rule: rule, depth: depth, mask: mask}
-	if !c.opt.RecordTrace {
-		// Parent pointers are useless without trace recording, but states in
-		// the frontier must be kept regardless; drop only the back-links.
-		n.parent, n.rule = -1, ""
-	}
-	c.nodes = append(c.nodes, n)
+	it := item{state: s, node: c.traces.Add(s, rule, parent), depth: depth, mask: mask}
 	if depth > c.res.Stats.MaxDepth {
 		c.res.Stats.MaxDepth = depth
 	}
-	return len(c.nodes) - 1, true
+	return it, true
 }
 
-// checkState runs invariants and goal predicates on node i; it reports
-// whether exploration should stop (violation found).
-func (c *checker) checkState(i int) bool {
-	s := c.nodes[i].state
+// checkState runs invariants and goal predicates on a freshly discovered
+// state; it reports whether exploration should stop (violation found).
+func (c *checker) checkState(it item) bool {
 	for _, inv := range c.invs {
-		if !inv.Holds(s) {
-			c.fail(FailInvariant, inv.Name, i, c.nodes[i].mask)
+		if !inv.Holds(it.state) {
+			c.fail(FailInvariant, inv.Name, it.node, it.mask)
 			return true
 		}
 	}
 	for gi := range c.goals {
-		if !c.goalHit[gi] && c.goals[gi].Holds(s) {
+		if !c.goalHit[gi] && c.goals[gi].Holds(it.state) {
 			c.goalHit[gi] = true
 		}
 	}
 	return false
 }
 
-func (c *checker) fail(kind FailKind, name string, nodeIdx int, mask uint64) {
+// fail records a property violation; n is the failing state's trace node
+// (nil with traces off, or for goal failures, which have no single trace).
+func (c *checker) fail(kind FailKind, name string, n *statespace.TraceNode[ts.State], mask uint64) {
 	c.res.Verdict = Failure
-	c.res.Stats.VisitedStates = len(c.nodes)
+	c.res.Stats.VisitedStates = len(c.visited)
 	fi := &FailureInfo{Kind: kind, Name: name, UsageMask: mask}
-	if c.opt.RecordTrace && nodeIdx >= 0 {
-		fi.Trace = c.trace(nodeIdx)
+	if n != nil {
+		fi.Trace = tracePath(n)
 	}
 	c.res.Failure = fi
-}
-
-func (c *checker) trace(i int) []TraceStep {
-	var rev []TraceStep
-	for ; i >= 0; i = c.nodes[i].parent {
-		rev = append(rev, TraceStep{Rule: c.nodes[i].rule, State: c.nodes[i].state})
-		if c.nodes[i].parent == i {
-			break // defensive: cannot happen
-		}
-	}
-	out := make([]TraceStep, 0, len(rev))
-	for j := len(rev) - 1; j >= 0; j-- {
-		out = append(out, rev[j])
-	}
-	return out
 }
 
 func (c *checker) run() error {
@@ -355,44 +420,35 @@ func (c *checker) run() error {
 	if len(inits) == 0 {
 		return fmt.Errorf("mc: system %q has no initial states", c.sys.Name())
 	}
-	var frontier []int
 	for _, s := range inits {
-		if i, fresh := c.enqueue(s, -1, "", 0, 0); fresh {
-			if c.checkState(i) {
+		if it, fresh := c.enqueue(s, nil, "", 0, 0); fresh {
+			if c.checkState(it) {
 				return nil
 			}
-			frontier = append(frontier, i)
+			c.frontier.PushBack(it)
 		}
 	}
 
-	for len(frontier) > 0 {
-		var i int
+	for c.frontier.Len() > 0 {
+		var it item
 		if c.opt.Order == DFS {
-			i = frontier[len(frontier)-1]
-			frontier = frontier[:len(frontier)-1]
+			it, _ = c.frontier.PopBack()
 		} else {
-			i = frontier[0]
-			frontier = frontier[1:]
+			it, _ = c.frontier.PopFront()
 		}
-		if c.opt.MaxStates > 0 && len(c.nodes) > c.opt.MaxStates {
+		if c.opt.MaxStates > 0 && len(c.visited) > c.opt.MaxStates {
 			c.res.CapHit = true
 			break
 		}
-		if done, err := c.expand(i, &frontier); done || err != nil {
+		if done, err := c.expand(it); done || err != nil {
 			return err
-		}
-		if !c.opt.RecordTrace {
-			// The state is fully expanded and its fingerprint lives in the
-			// visited set; without trace recording nothing reads it again,
-			// so release it to bound peak memory on large explorations.
-			c.nodes[i].state = nil
 		}
 	}
 
 	if c.res.Verdict == Failure {
 		return nil
 	}
-	c.res.Stats.VisitedStates = len(c.nodes)
+	c.res.Stats.VisitedStates = len(c.visited)
 	if c.res.WildcardHit || c.res.CapHit {
 		c.res.Verdict = Unknown
 		return nil
@@ -402,7 +458,7 @@ func (c *checker) run() error {
 		if !c.goalHit[gi] {
 			// A goal failure is a property of the entire explored space;
 			// conservatively mark every hole as involved.
-			c.fail(FailGoal, c.goals[gi].Name, -1, ^uint64(0))
+			c.fail(FailGoal, c.goals[gi].Name, nil, ^uint64(0))
 			return nil
 		}
 	}
@@ -410,11 +466,10 @@ func (c *checker) run() error {
 	return nil
 }
 
-// expand fires all transitions of node i. It reports done=true when a
-// violation stops the search.
-func (c *checker) expand(i int, frontier *[]int) (done bool, err error) {
-	s := c.nodes[i].state
-	trs := c.sys.Transitions(s)
+// expand fires all transitions of frontier entry it. It reports done=true
+// when a violation stops the search.
+func (c *checker) expand(it item) (done bool, err error) {
+	trs := c.sys.Transitions(it.state)
 	succs := 0
 	blocked := 0
 	for _, tr := range trs {
@@ -429,19 +484,19 @@ func (c *checker) expand(i int, frontier *[]int) (done bool, err error) {
 				blocked++
 				continue
 			}
-			return false, fmt.Errorf("mc: transition %q from state %q: %w", tr.Name, s.Key(), ferr)
+			return false, fmt.Errorf("mc: transition %q from state %q: %w", tr.Name, it.state.Key(), ferr)
 		}
 		c.res.Stats.FiredTransitions++
 		succs++
-		mask := c.nodes[i].mask
+		mask := it.mask
 		if c.opt.Usage != nil {
 			mask |= c.opt.Usage.Usage()
 		}
-		if j, fresh := c.enqueue(next, i, tr.Name, c.nodes[i].depth+1, mask); fresh {
-			if c.checkState(j) {
+		if child, fresh := c.enqueue(next, it.node, tr.Name, it.depth+1, mask); fresh {
+			if c.checkState(child) {
 				return true, nil
 			}
-			*frontier = append(*frontier, j)
+			c.frontier.PushBack(child)
 		}
 	}
 	if succs == 0 && !c.opt.NoDeadlock {
@@ -450,8 +505,8 @@ func (c *checker) expand(i int, frontier *[]int) (done bool, err error) {
 			// deadlock; the Unknown verdict (WildcardHit) covers it.
 			return false, nil
 		}
-		if c.quies == nil || !c.quies.Quiescent(s) {
-			c.fail(FailDeadlock, "deadlock", i, c.nodes[i].mask)
+		if c.quies == nil || !c.quies.Quiescent(it.state) {
+			c.fail(FailDeadlock, "deadlock", it.node, it.mask)
 			return true, nil
 		}
 	}

@@ -5,22 +5,23 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
 	"verc3/internal/ts"
 )
 
-// pnode is one discovered state in the parallel driver. Nodes are immutable
-// after construction; counterexamples are reconstructed by walking the
-// parent pointers, which are only retained under Options.RecordTrace (they
-// keep every ancestor chain alive, the same memory/trace trade-off the
-// sequential driver makes with its node table).
-type pnode struct {
-	state  ts.State
-	parent *pnode // nil for initial states or when traces are off
-	rule   string
-	depth  int
+// pitem is one frontier entry of the parallel driver: the state with its
+// BFS depth. The same trace-optional representation as the sequential
+// driver — with RecordTrace off, frontier levels are the only place states
+// live and each level becomes garbage once expanded; with it on, node
+// points into the shared trace store, whose parent chains keep every
+// ancestor alive (the inherent memory cost of counterexamples).
+type pitem struct {
+	state ts.State
+	node  *statespace.TraceNode[ts.State] // nil unless RecordTrace
+	depth int
 }
 
 // pchecker is the level-synchronous parallel BFS driver. Each frontier
@@ -38,6 +39,7 @@ type pchecker struct {
 	quies ts.QuiescentReporter
 
 	visited *statespace.Set
+	traces  *statespace.TraceStore[ts.State]
 	goalHit []atomic.Bool
 
 	fired    atomic.Int64
@@ -45,6 +47,7 @@ type pchecker struct {
 	maxDepth atomic.Int64 // max enqueued depth (same semantics as sequential)
 	wildcard atomic.Bool
 	capHit   atomic.Bool
+	peak     int // frontier high-water mark (updated between levels)
 
 	failMu  sync.Mutex
 	failure *FailureInfo
@@ -58,6 +61,7 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 		canon:   newCanon(sys, opt),
 		invs:    sys.Invariants(),
 		visited: statespace.NewSet(opt.ShardBits),
+		traces:  statespace.NewTraceStore[ts.State](opt.RecordTrace),
 	}
 	if gr, ok := sys.(ts.GoalReporter); ok {
 		c.goals = gr.Goals()
@@ -85,16 +89,16 @@ func (c *pchecker) noteDepth(d int) {
 }
 
 // checkState runs invariants and goal predicates on a freshly discovered
-// node; it reports whether exploration should stop (violation recorded).
-func (c *pchecker) checkState(n *pnode) bool {
+// state; it reports whether exploration should stop (violation recorded).
+func (c *pchecker) checkState(it pitem) bool {
 	for _, inv := range c.invs {
-		if !inv.Holds(n.state) {
-			c.fail(FailInvariant, inv.Name, n)
+		if !inv.Holds(it.state) {
+			c.fail(FailInvariant, inv.Name, it.node)
 			return true
 		}
 	}
 	for gi := range c.goals {
-		if !c.goalHit[gi].Load() && c.goals[gi].Holds(n.state) {
+		if !c.goalHit[gi].Load() && c.goals[gi].Holds(it.state) {
 			c.goalHit[gi].Store(true)
 		}
 	}
@@ -103,36 +107,29 @@ func (c *pchecker) checkState(n *pnode) bool {
 
 // fail records the first property violation; later violations (racing
 // workers in the same level) are dropped, so the reported trace is always a
-// single consistent parent chain.
-func (c *pchecker) fail(kind FailKind, name string, n *pnode) {
+// single consistent parent chain. n is nil with traces off.
+func (c *pchecker) fail(kind FailKind, name string, n *statespace.TraceNode[ts.State]) {
 	c.failMu.Lock()
 	defer c.failMu.Unlock()
 	if c.failure != nil {
 		return
 	}
 	fi := &FailureInfo{Kind: kind, Name: name}
-	if c.opt.RecordTrace && n != nil {
-		var rev []TraceStep
-		for ; n != nil; n = n.parent {
-			rev = append(rev, TraceStep{Rule: n.rule, State: n.state})
-		}
-		fi.Trace = make([]TraceStep, 0, len(rev))
-		for i := len(rev) - 1; i >= 0; i-- {
-			fi.Trace = append(fi.Trace, rev[i])
-		}
+	if n != nil {
+		fi.Trace = tracePath(n)
 	}
 	c.failure = fi
 }
 
-// expand fires all transitions of one frontier node, emitting fresh
+// expand fires all transitions of one frontier entry, emitting fresh
 // successors into the next level. It is called concurrently by the level
 // workers.
-func (c *pchecker) expand(n *pnode, emit func(*pnode)) (stop bool, err error) {
+func (c *pchecker) expand(it pitem, emit func(pitem)) (stop bool, err error) {
 	if c.opt.MaxStates > 0 && c.visited.Len() > c.opt.MaxStates {
 		c.capHit.Store(true)
 		return true, nil
 	}
-	trs := c.sys.Transitions(n.state)
+	trs := c.sys.Transitions(it.state)
 	succs, blocked := 0, 0
 	for _, tr := range trs {
 		next, ferr := tr.Fire(c.opt.Env)
@@ -143,17 +140,14 @@ func (c *pchecker) expand(n *pnode, emit func(*pnode)) (stop bool, err error) {
 				blocked++
 				continue
 			}
-			return true, fmt.Errorf("mc: transition %q from state %q: %w", tr.Name, n.state.Key(), ferr)
+			return true, fmt.Errorf("mc: transition %q from state %q: %w", tr.Name, it.state.Key(), ferr)
 		}
 		c.fired.Add(1)
 		succs++
 		if !c.visited.Add(c.fingerprint(next)) {
 			continue
 		}
-		child := &pnode{state: next, depth: n.depth + 1}
-		if c.opt.RecordTrace {
-			child.parent, child.rule = n, tr.Name
-		}
+		child := pitem{state: next, node: c.traces.Add(next, tr.Name, it.node), depth: it.depth + 1}
 		c.noteDepth(child.depth)
 		if c.checkState(child) {
 			return true, nil
@@ -166,8 +160,8 @@ func (c *pchecker) expand(n *pnode, emit func(*pnode)) (stop bool, err error) {
 			// deadlock; the Unknown verdict (WildcardHit) covers it.
 			return false, nil
 		}
-		if c.quies == nil || !c.quies.Quiescent(n.state) {
-			c.fail(FailDeadlock, "deadlock", n)
+		if c.quies == nil || !c.quies.Quiescent(it.state) {
+			c.fail(FailDeadlock, "deadlock", it.node)
 			return true, nil
 		}
 	}
@@ -179,20 +173,21 @@ func (c *pchecker) run() (*Result, error) {
 	if len(inits) == 0 {
 		return nil, fmt.Errorf("mc: system %q has no initial states", c.sys.Name())
 	}
-	var frontier []*pnode
+	var frontier []pitem
 	stopped := false
 	for _, s := range inits {
 		if !c.visited.Add(c.fingerprint(s)) {
 			continue
 		}
-		n := &pnode{state: s}
-		if c.checkState(n) {
+		it := pitem{state: s, node: c.traces.Add(s, "", nil)}
+		if c.checkState(it) {
 			stopped = true
 			break
 		}
-		frontier = append(frontier, n)
+		frontier = append(frontier, it)
 	}
 
+	c.peak = len(frontier)
 	for !stopped && len(frontier) > 0 {
 		next, stop, err := statespace.ExpandLevel(c.opt.Workers, frontier, c.expand)
 		if err != nil {
@@ -202,6 +197,9 @@ func (c *pchecker) run() (*Result, error) {
 			break
 		}
 		frontier = next
+		if len(frontier) > c.peak {
+			c.peak = len(frontier)
+		}
 	}
 	return c.finish(), nil
 }
@@ -219,6 +217,11 @@ func (c *pchecker) finish() *Result {
 		WildcardHit: c.wildcard.Load(),
 		CapHit:      c.capHit.Load(),
 	}
+	res.Space.States = c.visited.Len()
+	res.Space.Transitions = int(c.fired.Load())
+	res.Space.PeakFrontier = c.peak
+	res.Space.TraceNodes = c.traces.Nodes()
+	res.Space.SetRetained(unsafe.Sizeof(pitem{}), c.traces.NodeBytes())
 	if c.failure != nil {
 		res.Verdict = Failure
 		res.Failure = c.failure

@@ -1,0 +1,116 @@
+package statespace
+
+import "testing"
+
+// TestQueueFIFO checks BFS order and the high-water mark across a
+// grow-shrink-grow cycle that wraps the ring.
+func TestQueueFIFO(t *testing.T) {
+	var q Queue[int]
+	if _, ok := q.PopFront(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	for i := 0; i < 40; i++ {
+		q.PushBack(i)
+	}
+	for i := 0; i < 30; i++ {
+		v, ok := q.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront #%d = %d, %v", i, v, ok)
+		}
+	}
+	// Wrap the ring: head is deep into the buffer now.
+	for i := 40; i < 100; i++ {
+		q.PushBack(i)
+	}
+	for i := 30; i < 100; i++ {
+		v, ok := q.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront #%d = %d, %v", i, v, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after draining", q.Len())
+	}
+	if q.Peak() != 70 {
+		t.Errorf("Peak = %d, want 70 (10 left + 60 pushed)", q.Peak())
+	}
+}
+
+// TestQueueLIFO checks DFS order: PushBack + PopBack is a stack.
+func TestQueueLIFO(t *testing.T) {
+	var q Queue[string]
+	q.PushBack("a")
+	q.PushBack("b")
+	q.PushBack("c")
+	for _, want := range []string{"c", "b", "a"} {
+		v, ok := q.PopBack()
+		if !ok || v != want {
+			t.Fatalf("PopBack = %q, %v, want %q", v, ok, want)
+		}
+	}
+	if _, ok := q.PopBack(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+// TestQueueReleasesPoppedSlots checks pops zero the vacated slot — the
+// property that stops the frontier from retaining popped states.
+func TestQueueReleasesPoppedSlots(t *testing.T) {
+	var q Queue[*int]
+	x, y := new(int), new(int)
+	q.PushBack(x)
+	q.PushBack(y)
+	q.PopFront()
+	q.PopBack()
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Fatalf("slot %d still holds a pointer after pop", i)
+		}
+	}
+}
+
+// TestQueueMixedOps interleaves fronts and backs against a reference deque.
+func TestQueueMixedOps(t *testing.T) {
+	var q Queue[int]
+	var ref []int
+	push := func(v int) { q.PushBack(v); ref = append(ref, v) }
+	popF := func() {
+		v, ok := q.PopFront()
+		if len(ref) == 0 {
+			if ok {
+				t.Fatal("PopFront on empty succeeded")
+			}
+			return
+		}
+		if !ok || v != ref[0] {
+			t.Fatalf("PopFront = %d, %v, want %d", v, ok, ref[0])
+		}
+		ref = ref[1:]
+	}
+	popB := func() {
+		v, ok := q.PopBack()
+		if len(ref) == 0 {
+			if ok {
+				t.Fatal("PopBack on empty succeeded")
+			}
+			return
+		}
+		if !ok || v != ref[len(ref)-1] {
+			t.Fatalf("PopBack = %d, %v, want %d", v, ok, ref[len(ref)-1])
+		}
+		ref = ref[:len(ref)-1]
+	}
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 0, 1, 2:
+			push(i)
+		case 3:
+			popF()
+		case 4:
+			popB()
+		}
+		if q.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", i, q.Len(), len(ref))
+		}
+	}
+}

@@ -1,21 +1,36 @@
 // Package statespace provides the state-storage and parallel-exploration
 // substrate of VerC3's embedded model checker: 64-bit state fingerprints, a
-// sharded concurrent visited set, and a level-synchronous work distributor
-// for parallel breadth-first search.
+// sharded concurrent visited set, a ring-buffer frontier queue, a
+// level-synchronous work distributor for parallel breadth-first search, an
+// optional parent-linked trace store, and a memory profile (Stats) of an
+// exploration run.
 //
 // The package is deliberately independent of the modelling layer (it knows
 // nothing about ts.State): the checker canonicalizes a state to its key
 // string, fingerprints it with OfString, and stores only the fingerprint.
 // Dropping the string keys removes the dominant allocation of the
 // exploration hot path and shrinks the visited set to 8 bytes per state;
-// sharding the set lets exploration workers insert concurrently with
+// sharding the set (Set) lets exploration workers insert concurrently with
 // per-shard mutexes instead of one global lock.
+//
+// Exploration is trace-optional. The frontier (Queue sequentially, the
+// levels of ExpandLevel in parallel) carries states directly and releases
+// them as they are expanded, so with counterexample recording off nothing
+// per-state outlives its expansion except the 8-byte fingerprint — the
+// memory regime of SPIN's and TLC's fingerprint-only modes. Only when the
+// caller wants replayable counterexamples does TraceStore allocate one
+// parent-linked TraceNode per discovered state, restoring the O(states)
+// memory the traces inherently cost. Stats reports both regimes (visited
+// set size, frontier high-water mark, trace nodes, a structural
+// bytes-retained estimate) so the trade is measurable.
 //
 // Fingerprinting trades a vanishing probability of unsoundness for this
 // speed: two distinct states colliding on all 64 bits would merge in the
 // visited set (Murphi's hash compaction makes the same trade). By the
 // birthday bound (≈ n²/2⁶⁵) a million-state exploration has a collision
-// probability around 3·10⁻⁸.
+// probability around 3·10⁻⁸. The synthesis engine additionally re-checks
+// every reported solution with trace recording on, so a collision during
+// the traceless search cannot smuggle a wrong candidate into the results.
 package statespace
 
 // Fingerprint is the 64-bit FNV-1a hash of a state's canonical key. Both

@@ -1,0 +1,98 @@
+package statespace
+
+import "fmt"
+
+// FingerprintBytes is the per-state payload of the visited set: one 64-bit
+// fingerprint. The structural retained-bytes estimate uses it as the
+// per-state floor (map bucket overhead is implementation-defined and not
+// counted).
+const FingerprintBytes = 8
+
+// Stats is the memory-oriented profile of one exploration run, the number
+// that the trace-optional representation exists to shrink. It is filled by
+// both exploration drivers and aggregated across synthesis dispatches by
+// the engine; the cmd/ tools print it behind their -stats flag.
+type Stats struct {
+	// States is the number of distinct states in the visited set.
+	States int
+	// Transitions is the number of successful transition firings.
+	Transitions int
+	// PeakFrontier is the frontier high-water mark: the largest queue
+	// length (sequential driver) or largest BFS level (parallel driver).
+	// With trace recording off it bounds the number of states alive at
+	// once.
+	PeakFrontier int
+	// TraceNodes is the number of parent-linked trace-store nodes retained.
+	// Always 0 with trace recording off — the acceptance criterion of the
+	// no-trace representation.
+	TraceNodes int
+	// BytesRetained is the structural estimate of exploration memory at its
+	// peak: States×FingerprintBytes for the visited set, the frontier
+	// high-water mark, and the trace store. It deliberately counts only
+	// checker-owned structures (not what model states themselves point to),
+	// so trace-on versus trace-off runs of the same system are directly
+	// comparable.
+	BytesRetained int64
+	// Mallocs and AllocBytes are runtime.ReadMemStats deltas over the run
+	// (heap allocation count and cumulative bytes). Populated only when the
+	// caller asked for them (mc.Options.MemStats): ReadMemStats stops the
+	// world and has no place in the synthesis inner loop. The counters are
+	// process-global, so they are only attributable to this run when
+	// nothing else allocates concurrently — with cross-candidate synthesis
+	// workers, each dispatch's delta includes its neighbours' allocations.
+	Mallocs    uint64
+	AllocBytes uint64
+}
+
+// SetRetained computes BytesRetained from the structural counters, given
+// the caller's frontier-item and trace-node footprints.
+func (s *Stats) SetRetained(itemBytes, nodeBytes uintptr) {
+	s.BytesRetained = int64(s.States)*FingerprintBytes +
+		int64(s.PeakFrontier)*int64(itemBytes) +
+		int64(s.TraceNodes)*int64(nodeBytes)
+}
+
+// Merge folds another run's profile into s for cross-run aggregation (the
+// synthesis engine merges one Stats per model-checker dispatch): counters
+// sum, while PeakFrontier and BytesRetained keep the largest single run.
+// The merged peaks are therefore per-dispatch figures, not a process
+// high-water mark: when dispatches run concurrently (cross-candidate
+// synthesis workers) their footprints coexist, and peak process memory can
+// approach the sum over the worker count.
+func (s *Stats) Merge(o Stats) {
+	s.States += o.States
+	s.Transitions += o.Transitions
+	if o.PeakFrontier > s.PeakFrontier {
+		s.PeakFrontier = o.PeakFrontier
+	}
+	s.TraceNodes += o.TraceNodes
+	if o.BytesRetained > s.BytesRetained {
+		s.BytesRetained = o.BytesRetained
+	}
+	s.Mallocs += o.Mallocs
+	s.AllocBytes += o.AllocBytes
+}
+
+// String renders the profile on one line, e.g. for -stats outputs.
+func (s Stats) String() string {
+	out := fmt.Sprintf("states=%d transitions=%d peak-frontier=%d trace-nodes=%d retained~%s",
+		s.States, s.Transitions, s.PeakFrontier, s.TraceNodes, humanBytes(s.BytesRetained))
+	if s.Mallocs > 0 {
+		out += fmt.Sprintf(" allocs=%d (%s)", s.Mallocs, humanBytes(int64(s.AllocBytes)))
+	}
+	return out
+}
+
+// humanBytes renders a byte count with a binary unit.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,45 @@
+package statespace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStatsSetRetained checks the structural estimate arithmetic.
+func TestStatsSetRetained(t *testing.T) {
+	s := Stats{States: 100, PeakFrontier: 10, TraceNodes: 100}
+	s.SetRetained(40, 48)
+	want := int64(100*FingerprintBytes + 10*40 + 100*48)
+	if s.BytesRetained != want {
+		t.Fatalf("BytesRetained = %d, want %d", s.BytesRetained, want)
+	}
+	s.TraceNodes = 0
+	s.SetRetained(40, 48)
+	if want := int64(100*FingerprintBytes + 10*40); s.BytesRetained != want {
+		t.Fatalf("no-trace BytesRetained = %d, want %d", s.BytesRetained, want)
+	}
+}
+
+// TestStatsMerge checks counters sum and high-water fields take the max.
+func TestStatsMerge(t *testing.T) {
+	a := Stats{States: 10, Transitions: 20, PeakFrontier: 5, TraceNodes: 1, BytesRetained: 100, Mallocs: 7, AllocBytes: 70}
+	a.Merge(Stats{States: 3, Transitions: 4, PeakFrontier: 9, TraceNodes: 2, BytesRetained: 50, Mallocs: 1, AllocBytes: 10})
+	want := Stats{States: 13, Transitions: 24, PeakFrontier: 9, TraceNodes: 3, BytesRetained: 100, Mallocs: 8, AllocBytes: 80}
+	if a != want {
+		t.Fatalf("merged = %+v, want %+v", a, want)
+	}
+}
+
+// TestStatsString checks the -stats rendering, including that allocation
+// counters only appear when collected.
+func TestStatsString(t *testing.T) {
+	s := Stats{States: 2, Transitions: 3, PeakFrontier: 1, BytesRetained: 2048}
+	got := s.String()
+	if !strings.Contains(got, "retained~2.0KiB") || strings.Contains(got, "allocs") {
+		t.Errorf("String() = %q", got)
+	}
+	s.Mallocs, s.AllocBytes = 5, 3 << 20
+	if got := s.String(); !strings.Contains(got, "allocs=5 (3.0MiB)") {
+		t.Errorf("String() with allocs = %q", got)
+	}
+}

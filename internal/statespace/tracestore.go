@@ -1,0 +1,73 @@
+package statespace
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// TraceNode is one discovered state in a parent-linked trace store: the
+// state itself, the name of the rule that led into it (empty for roots) and
+// a pointer to its predecessor. Nodes are immutable after construction, so
+// chains may be extended concurrently by several exploration workers; a
+// counterexample is reconstructed by walking Parent links back to a root.
+type TraceNode[T any] struct {
+	State  T
+	Rule   string
+	Parent *TraceNode[T]
+}
+
+// Path returns the chain from the root to n, in exploration order (root
+// first). It is the replay order counterexamples are reported in.
+func (n *TraceNode[T]) Path() []*TraceNode[T] {
+	depth := 0
+	for c := n; c != nil; c = c.Parent {
+		depth++
+	}
+	out := make([]*TraceNode[T], depth)
+	for c := n; c != nil; c = c.Parent {
+		depth--
+		out[depth] = c
+	}
+	return out
+}
+
+// TraceStore is the trace-optional side of exploration: when enabled it
+// allocates one parent-linked TraceNode per discovered state (O(states)
+// memory, the price of counterexamples), and when disabled Add returns nil
+// and the store allocates nothing at all — the exploration frontier then
+// carries states directly and nothing per-state outlives its expansion
+// except the 8-byte fingerprint in the visited set.
+//
+// The node count is atomic, so one store may serve concurrent exploration
+// workers.
+type TraceStore[T any] struct {
+	enabled bool
+	count   atomic.Int64
+}
+
+// NewTraceStore builds a store that records nodes iff enabled.
+func NewTraceStore[T any](enabled bool) *TraceStore[T] {
+	return &TraceStore[T]{enabled: enabled}
+}
+
+// Enabled reports whether Add records nodes.
+func (s *TraceStore[T]) Enabled() bool { return s.enabled }
+
+// Add records a discovered state with its incoming rule and predecessor and
+// returns the new node, or nil when the store is disabled. A nil parent
+// marks a root (initial state).
+func (s *TraceStore[T]) Add(state T, rule string, parent *TraceNode[T]) *TraceNode[T] {
+	if !s.enabled {
+		return nil
+	}
+	s.count.Add(1)
+	return &TraceNode[T]{State: state, Rule: rule, Parent: parent}
+}
+
+// Nodes returns the number of nodes retained (0 when disabled).
+func (s *TraceStore[T]) Nodes() int { return int(s.count.Load()) }
+
+// NodeBytes reports the per-node struct footprint, used for the structural
+// bytes-retained estimate in Stats (it excludes what State itself points
+// to, which the store retains but cannot size generically).
+func (s *TraceStore[T]) NodeBytes() uintptr { return unsafe.Sizeof(TraceNode[T]{}) }

@@ -1,0 +1,72 @@
+package statespace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTraceStoreDisabled checks the no-trace configuration allocates
+// nothing: Add returns nil and the node count stays zero.
+func TestTraceStoreDisabled(t *testing.T) {
+	s := NewTraceStore[string](false)
+	if s.Enabled() {
+		t.Fatal("store reports enabled")
+	}
+	if n := s.Add("a", "", nil); n != nil {
+		t.Fatal("disabled Add returned a node")
+	}
+	if s.Nodes() != 0 {
+		t.Fatalf("Nodes = %d, want 0", s.Nodes())
+	}
+}
+
+// TestTraceStorePath checks parent chains replay root-first.
+func TestTraceStorePath(t *testing.T) {
+	s := NewTraceStore[string](true)
+	root := s.Add("init", "", nil)
+	mid := s.Add("mid", "step1", root)
+	leaf := s.Add("leaf", "step2", mid)
+	if s.Nodes() != 3 {
+		t.Fatalf("Nodes = %d, want 3", s.Nodes())
+	}
+	path := leaf.Path()
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3", len(path))
+	}
+	for i, want := range []struct{ state, rule string }{
+		{"init", ""}, {"mid", "step1"}, {"leaf", "step2"},
+	} {
+		if path[i].State != want.state || path[i].Rule != want.rule {
+			t.Errorf("path[%d] = %q/%q, want %q/%q", i, path[i].State, path[i].Rule, want.state, want.rule)
+		}
+	}
+	if got := root.Path(); len(got) != 1 || got[0] != root {
+		t.Errorf("root.Path() = %v", got)
+	}
+}
+
+// TestTraceStoreConcurrentAdd checks the node counter under concurrent
+// extension of a shared ancestor (the parallel driver's access pattern).
+func TestTraceStoreConcurrentAdd(t *testing.T) {
+	s := NewTraceStore[int](true)
+	root := s.Add(0, "", nil)
+	var wg sync.WaitGroup
+	const workers, each = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parent := root
+			for i := 0; i < each; i++ {
+				parent = s.Add(w*each+i, "r", parent)
+			}
+			if got := len(parent.Path()); got != each+1 {
+				t.Errorf("worker %d: chain length %d, want %d", w, got, each+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Nodes() != workers*each+1 {
+		t.Errorf("Nodes = %d, want %d", s.Nodes(), workers*each+1)
+	}
+}

@@ -20,31 +20,57 @@ type Params struct {
 	Caches int
 }
 
-// builders maps system names to constructors.
-var builders = map[string]func(Params) ts.System{
-	"msi-complete": func(p Params) ts.System {
+// entry is one registered system: its constructor, and whether it is a
+// synthesis sketch (its transitions contain holes, so it can only be
+// explored under a synthesis chooser — plain model checking must refuse it
+// rather than let ts.Env.Choose panic).
+type entry struct {
+	build  func(Params) ts.System
+	sketch bool
+}
+
+// builders maps system names to their registry entries.
+var builders = map[string]entry{
+	"msi-complete": {build: func(p Params) ts.System {
 		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Complete})
-	},
-	"msi-small": func(p Params) ts.System {
+	}},
+	"msi-small": {sketch: true, build: func(p Params) ts.System {
 		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Small})
-	},
-	"msi-large": func(p Params) ts.System {
+	}},
+	"msi-large": {sketch: true, build: func(p Params) ts.System {
 		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Large})
-	},
-	"peterson":          func(Params) ts.System { return mutex.New(false) },
-	"peterson-sketch":   func(Params) ts.System { return mutex.New(true) },
-	"fig2":              func(Params) ts.System { return toy.Figure2() },
-	"token-ring":        func(Params) ts.System { return tokenring.New(false) },
-	"token-ring-sketch": func(Params) ts.System { return tokenring.New(true) },
+	}},
+	"peterson":          {build: func(Params) ts.System { return mutex.New(false) }},
+	"peterson-sketch":   {sketch: true, build: func(Params) ts.System { return mutex.New(true) }},
+	"fig2":              {sketch: true, build: func(Params) ts.System { return toy.Figure2() }},
+	"token-ring":        {build: func(Params) ts.System { return tokenring.New(false) }},
+	"token-ring-sketch": {sketch: true, build: func(Params) ts.System { return tokenring.New(true) }},
 }
 
 // Get builds the named system.
 func Get(name string, p Params) (ts.System, error) {
-	b, ok := builders[name]
+	e, ok := builders[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown system %q (available: %s)", name, strings.Join(Names(), ", "))
 	}
-	return b(p), nil
+	return e.build(p), nil
+}
+
+// IsSketch reports whether the named system is a synthesis sketch — a
+// skeleton with unassigned holes that only the synthesis engine can
+// resolve. Unknown names report false (Get is where names are validated).
+func IsSketch(name string) bool { return builders[name].sketch }
+
+// SketchNames lists the registered sketch systems in sorted order.
+func SketchNames() []string {
+	out := make([]string, 0, len(builders))
+	for n, e := range builders {
+		if e.sketch {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Names lists the registered system names in sorted order.

@@ -1,8 +1,11 @@
 package zoo_test
 
 import (
+	"slices"
 	"testing"
 
+	"verc3/internal/mc"
+	"verc3/internal/ts"
 	"verc3/internal/zoo"
 )
 
@@ -34,3 +37,40 @@ func TestUnknownName(t *testing.T) {
 		t.Fatal("want error")
 	}
 }
+
+// TestSketchMetadata cross-checks the registry's sketch flags against the
+// systems themselves: a sketch hits a wildcard under an all-wildcard
+// environment, a complete model never calls Choose at all. This is the
+// metadata verc3-verify relies on to refuse sketches with a friendly error
+// instead of panicking in ts.Env.Choose.
+func TestSketchMetadata(t *testing.T) {
+	for _, n := range zoo.Names() {
+		sys, err := zoo.Get(n, zoo.Params{Caches: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mc.Check(sys, mc.Options{
+			Symmetry: true,
+			Env:      ts.NewEnv(wildcardChooser{}),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if got, want := zoo.IsSketch(n), res.WildcardHit; got != want {
+			t.Errorf("IsSketch(%q) = %v, but exploration reports wildcard hit = %v", n, got, want)
+		}
+	}
+	if zoo.IsSketch("nope") {
+		t.Error("unknown names must not report as sketches")
+	}
+	want := []string{"fig2", "msi-large", "msi-small", "peterson-sketch", "token-ring-sketch"}
+	if got := zoo.SketchNames(); !slices.Equal(got, want) {
+		t.Errorf("SketchNames() = %v, want %v", got, want)
+	}
+}
+
+// wildcardChooser makes every hole a wildcard; complete models never
+// call Choose.
+type wildcardChooser struct{}
+
+func (wildcardChooser) Choose(string, []string) (int, error) { return 0, ts.ErrWildcard }
