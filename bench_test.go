@@ -28,6 +28,8 @@ import (
 	"verc3/internal/mutex"
 	"verc3/internal/statespace"
 	"verc3/internal/toy"
+	"verc3/internal/visited"
+	"verc3/internal/zoo"
 )
 
 var (
@@ -362,6 +364,53 @@ func BenchmarkVisitedKeyFingerprint(b *testing.B) {
 			visited[statespace.OfString(string(append([]byte(nil), k...)))] = struct{}{}
 		}
 	}
+}
+
+// --- Visited-set backend ablation (experiment E12) ---
+//
+// The pluggable storage layer (internal/visited) on the zoo's stress
+// entry: the complete 4-cache MSI protocol, unreduced (105,752 states) so
+// the visited set rather than canonicalization dominates. visitedB/state
+// is each backend's measured footprint per state; bitstate runs against a
+// fixed 16 MiB budget and reports its omission-probability estimate. The
+// CI workflow uploads all BenchmarkVisited* rows in the benchstat
+// artifact.
+
+// visitedBench explores the stress entry once per iteration on the given
+// backend and driver.
+func visitedBench(b *testing.B, kind visited.Kind, workers int) {
+	b.Helper()
+	sys, err := zoo.Get("msi-complete-4", zoo.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var last *mc.Result
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(sys, mc.Options{Workers: workers, Visited: kind, BitstateMB: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != mc.Success {
+			b.Fatalf("verdict = %v", res.Verdict)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Space.States), "states")
+	b.ReportMetric(float64(last.Space.VisitedBytes)/float64(last.Space.States), "visitedB/state")
+	if !last.Exact {
+		b.ReportMetric(last.Space.OmissionProb, "p(omit)")
+	}
+}
+
+func BenchmarkVisitedMap(b *testing.B)      { visitedBench(b, visited.Map, 1) }
+func BenchmarkVisitedFlat(b *testing.B)     { visitedBench(b, visited.Flat, 1) }
+func BenchmarkVisitedBitstate(b *testing.B) { visitedBench(b, visited.Bitstate, 1) }
+
+func BenchmarkVisitedMapParallel(b *testing.B)  { visitedBench(b, visited.Map, parallelWorkers()) }
+func BenchmarkVisitedFlatParallel(b *testing.B) { visitedBench(b, visited.Flat, parallelWorkers()) }
+func BenchmarkVisitedBitstateParallel(b *testing.B) {
+	visitedBench(b, visited.Bitstate, parallelWorkers())
 }
 
 // BenchmarkSynthPeterson covers the second domain end to end.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	verc3-fig2 [-stats]
+//	verc3-fig2 [-visited flat|map] [-bitstate-mb N] [-stats]
 package main
 
 import (
@@ -16,11 +16,20 @@ import (
 	"verc3/internal/core"
 	"verc3/internal/mc"
 	"verc3/internal/toy"
+	"verc3/internal/visited"
 )
 
 func main() {
 	stats := flag.Bool("stats", false, "print the aggregated exploration memory profile of both runs")
+	visitedF := flag.String("visited", "flat", "visited-set backend for dispatches: flat or map (bitstate is lossy and refused for synthesis)")
+	bitstateM := flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
 	flag.Parse()
+
+	backend, err := visited.ParseKind(*visitedF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
+		os.Exit(2)
+	}
 
 	g := toy.Figure2()
 
@@ -33,7 +42,7 @@ func main() {
 	var events []core.Event
 	res, err := core.Synthesize(g, core.Config{
 		Mode: core.ModePrune,
-		MC:   mc.Options{MemStats: *stats},
+		MC:   mc.Options{MemStats: *stats, Visited: backend, BitstateMB: *bitstateM},
 		OnEvaluate: func(ev core.Event) {
 			run++
 			mark := ""
@@ -50,7 +59,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	naive, err := core.Synthesize(g, core.Config{Mode: core.ModeNaive, MC: mc.Options{MemStats: *stats}})
+	naive, err := core.Synthesize(g, core.Config{Mode: core.ModeNaive, MC: mc.Options{MemStats: *stats, Visited: backend, BitstateMB: *bitstateM}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
 		os.Exit(2)

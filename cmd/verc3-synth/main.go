@@ -6,7 +6,7 @@
 //
 //	verc3-synth -system msi-small [-caches 2] [-mode prune|naive]
 //	            [-workers 4] [-mc-workers 1] [-style full|trace] [-max-eval N]
-//	            [-stats] [-v]
+//	            [-visited flat|map] [-stats] [-v]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 
 	"verc3/internal/core"
 	"verc3/internal/mc"
+	"verc3/internal/visited"
 	"verc3/internal/zoo"
 )
 
@@ -32,10 +33,17 @@ func main() {
 		symmetry  = flag.Bool("symmetry", true, "enable symmetry reduction in the model checker")
 		maxEval   = flag.Int64("max-eval", 0, "stop after N model-checker dispatches (0 = run to completion)")
 		stats     = flag.Bool("stats", false, "print the aggregated exploration memory profile")
+		visitedF  = flag.String("visited", "flat", "visited-set backend for dispatches: flat or map (bitstate is lossy and refused for synthesis)")
+		bitstateM = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
 		verbose   = flag.Bool("v", false, "log rounds and solutions as they are found")
 	)
 	flag.Parse()
 
+	backend, err := visited.ParseKind(*visitedF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
+		os.Exit(2)
+	}
 	sys, err := zoo.Get(*system, zoo.Params{Caches: *caches})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
@@ -44,7 +52,7 @@ func main() {
 	cfg := core.Config{
 		Workers:        *workers,
 		MCWorkers:      *mcWorkers,
-		MC:             mc.Options{Symmetry: *symmetry, MemStats: *stats},
+		MC:             mc.Options{Symmetry: *symmetry, MemStats: *stats, Visited: backend, BitstateMB: *bitstateM},
 		MaxEvaluations: *maxEval,
 	}
 	switch *mode {

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	verc3-table1 [-caches 2] [-workers 4] [-mc-workers 1] [-naive-large-max 20000]
-//	             [-full] [-skip-naive] [-stats]
+//	             [-full] [-skip-naive] [-visited flat|map] [-stats]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"verc3/internal/core"
 	"verc3/internal/mc"
 	"verc3/internal/msi"
+	"verc3/internal/visited"
 )
 
 type row struct {
@@ -47,8 +48,16 @@ func main() {
 		full       = flag.Bool("full", false, "run every configuration to completion (MSI-large naive: days)")
 		skipNaive  = flag.Bool("skip-naive", false, "skip both naive rows entirely")
 		stats      = flag.Bool("stats", false, "print each row's aggregated exploration memory profile")
+		visitedF   = flag.String("visited", "flat", "visited-set backend for dispatches: flat or map (bitstate is lossy and refused for synthesis)")
+		bitstateM  = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
 	)
 	flag.Parse()
+
+	backend, err := visited.ParseKind(*visitedF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
+		os.Exit(2)
+	}
 
 	rows := []*row{
 		{name: "MSI-small 1 thread, no pruning", variant: msi.Small, mode: core.ModeNaive, workers: 1},
@@ -73,7 +82,7 @@ func main() {
 			Mode:           r.mode,
 			Workers:        r.workers,
 			MCWorkers:      *mcWorkers,
-			MC:             mc.Options{Symmetry: true, MemStats: *stats},
+			MC:             mc.Options{Symmetry: true, MemStats: *stats, Visited: backend, BitstateMB: *bitstateM},
 			MaxEvaluations: r.truncate,
 		})
 		if err != nil {

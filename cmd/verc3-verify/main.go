@@ -7,6 +7,7 @@
 //
 //	verc3-verify -system msi-complete [-caches 3] [-symmetry=false] [-states]
 //	             [-dfs] [-workers N] [-shard-bits B] [-no-trace] [-stats]
+//	             [-visited flat|map|bitstate] [-bitstate-mb N]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"verc3/internal/mc"
 	"verc3/internal/trace"
+	"verc3/internal/visited"
 	"verc3/internal/zoo"
 )
 
@@ -34,8 +36,16 @@ func main() {
 		shardBits = flag.Int("shard-bits", 0, "log2 shards of the parallel visited set (0 = default)")
 		noTrace   = flag.Bool("no-trace", false, "skip trace recording (fingerprint-only memory; failures carry no counterexample)")
 		stats     = flag.Bool("stats", false, "print the exploration memory profile (peak frontier, trace store, allocations)")
+		visitedF  = flag.String("visited", "flat", "visited-set backend: flat (open addressing), map, or bitstate (lossy, fixed memory)")
+		bitstateM = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (0 = default 64; -visited bitstate only)")
 	)
 	flag.Parse()
+
+	backend, err := visited.ParseKind(*visitedF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
+		os.Exit(2)
+	}
 
 	if zoo.IsSketch(*system) {
 		fmt.Fprintf(os.Stderr,
@@ -59,6 +69,8 @@ func main() {
 		Workers:     *workers,
 		ShardBits:   *shardBits,
 		MemStats:    *stats,
+		Visited:     backend,
+		BitstateMB:  *bitstateM,
 	}
 	if *dfs {
 		opt.Order = mc.DFS
@@ -75,6 +87,10 @@ func main() {
 	fmt.Printf("transitions: %d\n", res.Stats.FiredTransitions)
 	fmt.Printf("max depth:   %d\n", res.Stats.MaxDepth)
 	fmt.Printf("elapsed:     %v\n", time.Since(start).Round(time.Millisecond))
+	if !res.Exact {
+		fmt.Printf("exact:       false (bitstate storage; p(state omitted) ~ %.2g — counts are lower bounds)\n",
+			res.Space.OmissionProb)
+	}
 	if *stats {
 		fmt.Printf("space:       %s\n", res.Space)
 	}

@@ -12,9 +12,13 @@
 //     enabled transitions, invariants, reachability goals and synthesis
 //     holes (ts.Env.Choose).
 //   - internal/statespace — the exploration substrate: 64-bit FNV-1a state
-//     fingerprints, a sharded concurrent visited set, a ring-buffer
-//     frontier queue, a level-synchronous parallel work distributor, the
-//     optional parent-linked trace store, and the Stats memory profile.
+//     fingerprints, a ring-buffer frontier queue, a level-synchronous
+//     parallel work distributor, the optional parent-linked trace store,
+//     and the Stats memory profile.
+//   - internal/visited — pluggable visited-set storage behind one Store
+//     interface: Go maps (lock-striped shards), a flat open-addressing
+//     fingerprint table (the default), and a SPIN-style bitstate tier with
+//     a fixed memory budget and a reported omission-probability estimate.
 //   - internal/symmetry — scalarset canonicalization (goroutine-safe), used
 //     for symmetry reduction of states implementing ts.Permutable.
 //   - internal/mc — the embedded explicit-state model checker: sequential
@@ -30,8 +34,9 @@
 //     system registry (with sketch metadata) behind the command-line tools.
 //
 // Command-line tools are under cmd/ (verc3-verify, verc3-synth,
-// verc3-table1, verc3-fig2; all support -stats) and runnable demos under
-// examples/.
+// verc3-table1, verc3-fig2; all support -stats and select the visited-set
+// backend with -visited flat|map|bitstate plus -bitstate-mb) and runnable
+// demos under examples/.
 //
 // # Trace-optional exploration
 //
@@ -47,8 +52,19 @@
 // solution with traces on, so fingerprint collisions during the traceless
 // search cannot survive into the results unnoticed.
 //
+// # Visited-set backends
+//
+// Where the fingerprints live is pluggable (mc.Options.Visited): the exact
+// backends — flat open addressing (default) and Go maps — are
+// interchangeable bit-for-bit and differ only in measured bytes per state,
+// while the bitstate tier caps memory at a fixed budget and reports
+// Result.Exact=false with a quantified omission probability. Synthesis
+// dispatches require an exact backend and the final re-verification always
+// runs on one.
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation plus this repo's ablations (parallel
-// drivers, visited-set keying, trace on/off memory); see DESIGN.md for the
-// experiment index and EXPERIMENTS.md for paper-versus-measured results.
+// drivers, visited-set keying and backends, trace on/off memory); see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured results.
 package verc3

@@ -11,6 +11,7 @@ import (
 	"verc3/internal/mc"
 	"verc3/internal/statespace"
 	"verc3/internal/ts"
+	"verc3/internal/visited"
 )
 
 // Mode selects the synthesis strategy.
@@ -91,10 +92,17 @@ type Config struct {
 	MCWorkers int
 	// MC carries the base model-checker options (symmetry, state caps,
 	// deadlock checking, search order, MemStats for Stats.Space allocation
-	// counters). Env, Usage, RecordTrace and Workers are managed by the
-	// engine and must be left zero (set Config.MCWorkers for intra-check
-	// parallelism; trace recording is off during the search and on for the
-	// final per-solution re-verification).
+	// counters, visited-set backend). Env, Usage, RecordTrace and Workers
+	// are managed by the engine and must be left zero (set Config.MCWorkers
+	// for intra-check parallelism; trace recording is off during the search
+	// and on for the final per-solution re-verification).
+	//
+	// MC.Visited must be an exact backend: synthesis dispatches run on the
+	// flat table by default (the zero value), and the lossy bitstate
+	// backend is rejected — an omitted state flips verdicts in both
+	// directions (a missed violation is caught by re-verification, but a
+	// spuriously unreached goal would insert an unsound pruning pattern
+	// that silently prunes correct candidates).
 	MC mc.Options
 	// MaxEvaluations, when positive, stops synthesis after that many
 	// model-checker dispatches (Stats.Truncated is set). Used to run scaled
@@ -254,6 +262,9 @@ func Synthesize(sys ts.System, cfg Config) (*Result, error) {
 	if cfg.MC.Workers != 0 {
 		return nil, fmt.Errorf("core: Config.MC.Workers is managed by the engine; set Config.MCWorkers")
 	}
+	if !cfg.MC.Visited.Exact() {
+		return nil, fmt.Errorf("core: visited backend %q is lossy; synthesis dispatches need an exact backend (flat or map)", cfg.MC.Visited)
+	}
 	if cfg.MCWorkers <= 0 {
 		cfg.MCWorkers = 1
 	}
@@ -294,7 +305,10 @@ func Synthesize(sys ts.System, cfg Config) (*Result, error) {
 // re-check does not come back Success is removed from the results — the
 // traceless search was fooled (a fingerprint collision merged states under
 // this candidate), and the documented guarantee is that such a candidate
-// cannot survive into Result.Solutions.
+// cannot survive into Result.Solutions. Re-verification always runs on an
+// exact visited backend, whatever backed the search — Synthesize rejects
+// lossy dispatch backends today, and this pins the invariant even if that
+// changes.
 func (e *engine) reverify() {
 	e.solMu.Lock()
 	defer e.solMu.Unlock()
@@ -303,6 +317,9 @@ func (e *engine) reverify() {
 		opt := e.cfg.MC
 		opt.Env = ts.NewEnv(rc)
 		opt.RecordTrace = true
+		if !opt.Visited.Exact() {
+			opt.Visited = visited.Flat
+		}
 		res, err := mc.Check(e.sys, opt)
 		if err != nil {
 			e.fatal.CompareAndSwap(nil, &errBox{err: err})

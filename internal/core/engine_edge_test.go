@@ -10,6 +10,7 @@ import (
 	"verc3/internal/mc"
 	"verc3/internal/toy"
 	"verc3/internal/ts"
+	"verc3/internal/visited"
 )
 
 // TestOnEvaluateSequentialOrder: with one worker the event stream is the
@@ -199,5 +200,37 @@ func TestSolutionAssignCopied(t *testing.T) {
 		// Describe renders out-of-range as "!"; the point is no panic and
 		// no aliasing with HoleActions.
 		t.Logf("describe after mutation: %s", d)
+	}
+}
+
+// TestBitstateRejectedForSynthesis pins the exactness requirement of the
+// synthesis loop: the lossy bitstate visited backend is refused outright,
+// because an omitted state can surface as a spuriously unreached goal and
+// insert an unsound pruning pattern. Exact backends both work and agree.
+func TestBitstateRejectedForSynthesis(t *testing.T) {
+	_, err := core.Synthesize(toy.Figure2(), core.Config{
+		Mode: core.ModePrune,
+		MC:   mc.Options{Visited: visited.Bitstate},
+	})
+	if err == nil || !strings.Contains(err.Error(), "lossy") {
+		t.Fatalf("bitstate dispatch backend: err = %v, want lossy-backend rejection", err)
+	}
+
+	var counts []int64
+	for _, kind := range []visited.Kind{visited.Flat, visited.Map} {
+		res, err := core.Synthesize(toy.Figure2(), core.Config{
+			Mode: core.ModePrune,
+			MC:   mc.Options{Visited: kind},
+		})
+		if err != nil {
+			t.Fatalf("visited=%v: %v", kind, err)
+		}
+		if len(res.Solutions) != 1 || !res.Solutions[0].Reverified {
+			t.Fatalf("visited=%v: solutions = %+v", kind, res.Solutions)
+		}
+		counts = append(counts, res.Stats.Evaluated)
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("evaluated: flat %d vs map %d — exact backends must search identically", counts[0], counts[1])
 	}
 }

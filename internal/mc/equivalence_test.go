@@ -11,6 +11,7 @@ import (
 	"verc3/internal/toy"
 	"verc3/internal/trace"
 	"verc3/internal/ts"
+	"verc3/internal/visited"
 	"verc3/internal/zoo"
 )
 
@@ -75,6 +76,162 @@ func TestZooEquivalenceTraceOnOff(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestZooEquivalenceVisitedBackends is the invariance check for the
+// pluggable visited-set storage: for every registered system, both exact
+// backends (flat open addressing and the original Go maps) under both
+// drivers must report the same verdict and exploration statistics — the
+// storage layer decides memory layout, never search semantics. Every run
+// must also self-report as exact with a positive measured footprint.
+func TestZooEquivalenceVisitedBackends(t *testing.T) {
+	for _, name := range zoo.Names() {
+		t.Run(name, func(t *testing.T) {
+			type combo struct {
+				workers int
+				backend visited.Kind
+			}
+			var base *mc.Result
+			for _, cb := range []combo{{1, visited.Flat}, {1, visited.Map}, {8, visited.Flat}, {8, visited.Map}} {
+				sys, err := zoo.Get(name, zoo.Params{Caches: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := mc.Check(sys, mc.Options{
+					Symmetry: true,
+					Env:      ts.NewEnv(wildcardChooser{}), // complete models never call Choose
+					Workers:  cb.workers,
+					Visited:  cb.backend,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d visited=%v: %v", cb.workers, cb.backend, err)
+				}
+				if !res.Exact || res.Space.Inexact {
+					t.Errorf("workers=%d visited=%v: exact backend reported inexact", cb.workers, cb.backend)
+				}
+				if res.Space.Backend != cb.backend.String() {
+					t.Errorf("workers=%d visited=%v: Space.Backend = %q", cb.workers, cb.backend, res.Space.Backend)
+				}
+				if res.Space.VisitedBytes <= 0 {
+					t.Errorf("workers=%d visited=%v: VisitedBytes = %d", cb.workers, cb.backend, res.Space.VisitedBytes)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if res.Verdict != base.Verdict {
+					t.Errorf("workers=%d visited=%v: verdict %v, want %v", cb.workers, cb.backend, res.Verdict, base.Verdict)
+				}
+				if res.Stats.VisitedStates != base.Stats.VisitedStates {
+					t.Errorf("workers=%d visited=%v: states %d, want %d", cb.workers, cb.backend, res.Stats.VisitedStates, base.Stats.VisitedStates)
+				}
+				if res.Stats.FiredTransitions != base.Stats.FiredTransitions {
+					t.Errorf("workers=%d visited=%v: transitions %d, want %d", cb.workers, cb.backend, res.Stats.FiredTransitions, base.Stats.FiredTransitions)
+				}
+				if res.Stats.MaxDepth != base.Stats.MaxDepth {
+					t.Errorf("workers=%d visited=%v: depth %d, want %d", cb.workers, cb.backend, res.Stats.MaxDepth, base.Stats.MaxDepth)
+				}
+				if res.Stats.WildcardAborts != base.Stats.WildcardAborts {
+					t.Errorf("workers=%d visited=%v: aborts %d, want %d", cb.workers, cb.backend, res.Stats.WildcardAborts, base.Stats.WildcardAborts)
+				}
+			}
+		})
+	}
+}
+
+// TestFlatVisitedBytesReduction pins the tentpole's headline number: on
+// msi-complete, the flat backend's measured visited-set footprint must be
+// at least 30% below the map backend's under the parallel driver (whose
+// sharded maps carry real per-shard overhead), and strictly below it
+// sequentially. Verdict/state equality across backends is covered by
+// TestZooEquivalenceVisitedBackends; this test is only about bytes.
+func TestFlatVisitedBytesReduction(t *testing.T) {
+	run := func(kind visited.Kind, workers int) *mc.Result {
+		sys, err := zoo.Get("msi-complete", zoo.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mc.Check(sys, mc.Options{Symmetry: true, Workers: workers, Visited: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != mc.Success {
+			t.Fatalf("visited=%v workers=%d: verdict %v", kind, workers, res.Verdict)
+		}
+		return res
+	}
+	perState := func(r *mc.Result) float64 {
+		return float64(r.Space.VisitedBytes) / float64(r.Space.States)
+	}
+
+	mapPar, flatPar := run(visited.Map, 4), run(visited.Flat, 4)
+	t.Logf("parallel driver: map %.1f B/state, flat %.1f B/state (%.0f%% reduction)",
+		perState(mapPar), perState(flatPar), 100*(1-perState(flatPar)/perState(mapPar)))
+	if perState(flatPar) > 0.7*perState(mapPar) {
+		t.Errorf("parallel flat = %.1f B/state, want ≥30%% below map's %.1f", perState(flatPar), perState(mapPar))
+	}
+
+	mapSeq, flatSeq := run(visited.Map, 1), run(visited.Flat, 1)
+	t.Logf("sequential driver: map %.1f B/state, flat %.1f B/state (%.0f%% reduction)",
+		perState(mapSeq), perState(flatSeq), 100*(1-perState(flatSeq)/perState(mapSeq)))
+	if perState(flatSeq) >= perState(mapSeq) {
+		t.Errorf("sequential flat = %.1f B/state, want below map's %.1f", perState(flatSeq), perState(mapSeq))
+	}
+}
+
+// TestBitstateStressWithinBudget runs the zoo's large-configuration stress
+// entry (msi-complete-4, unreduced: >100k states) under the bitstate tier
+// with a deliberately small fixed budget and checks the contract: the
+// measured footprint never exceeds the budget, the run self-reports as
+// inexact with an omission-probability estimate, and — the budget being
+// ample for this fill — the exploration still finds the whole space.
+func TestBitstateStressWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~100k-state exploration; run without -short")
+	}
+	build := func() ts.System {
+		sys, err := zoo.Get("msi-complete-4", zoo.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	exact, err := mc.Check(build(), mc.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential on purpose: under the parallel driver racing inserts of
+	// one fingerprint can both be admitted (documented bitstate behaviour),
+	// which would make the count comparison below nondeterministic.
+	const budgetMB = 4
+	bs, err := mc.Check(build(), mc.Options{Visited: visited.Bitstate, BitstateMB: budgetMB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Exact || !bs.Space.Inexact {
+		t.Error("bitstate run reported Exact")
+	}
+	if bs.Space.Backend != "bitstate" {
+		t.Errorf("Space.Backend = %q", bs.Space.Backend)
+	}
+	if bs.Space.VisitedBytes != budgetMB<<20 {
+		t.Errorf("VisitedBytes = %d, want the fixed %d budget", bs.Space.VisitedBytes, budgetMB<<20)
+	}
+	if bs.Space.OmissionProb <= 0 || bs.Space.OmissionProb > 1e-3 {
+		t.Errorf("OmissionProb = %g, want small but positive at this fill", bs.Space.OmissionProb)
+	}
+	t.Logf("bitstate: %d/%d states in %dMiB, p(omit) ~ %.2g",
+		bs.Stats.VisitedStates, exact.Stats.VisitedStates, budgetMB, bs.Space.OmissionProb)
+	if bs.Stats.VisitedStates > exact.Stats.VisitedStates {
+		t.Errorf("bitstate found %d states, more than the exact %d", bs.Stats.VisitedStates, exact.Stats.VisitedStates)
+	}
+	if bs.Stats.VisitedStates < exact.Stats.VisitedStates*999/1000 {
+		t.Errorf("bitstate omitted >0.1%% of states (%d of %d) despite ~0 predicted risk",
+			exact.Stats.VisitedStates-bs.Stats.VisitedStates, exact.Stats.VisitedStates)
+	}
+	if bs.Verdict != mc.Success {
+		t.Errorf("bitstate verdict = %v", bs.Verdict)
 	}
 }
 

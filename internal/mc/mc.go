@@ -6,15 +6,22 @@
 // complete exploration — checking reachability goals ("all stable states
 // must be visited at least once").
 //
-// # Keying scheme
+// # Keying scheme and visited-set backends
 //
 // Both exploration drivers share one keying scheme (internal/statespace): a
 // state's canonical key — its Key() string, after symmetry canonicalization
 // when Options.Symmetry is on — is hashed to a 64-bit FNV-1a fingerprint,
-// and only the fingerprint is stored. The visited set is therefore 8 bytes
-// per state, and because the sequential and parallel drivers dedupe through
-// the same fingerprints, complete explorations report identical
-// reachable-state counts under both.
+// and only the fingerprint is stored. Because the sequential and parallel
+// drivers dedupe through the same fingerprints, complete explorations
+// report identical reachable-state counts under both.
+//
+// Where the fingerprints live is pluggable (Options.Visited, package
+// internal/visited): a flat open-addressing table (the default), Go maps
+// (the original backend), or a SPIN-style bitstate array with a fixed
+// memory budget (Options.BitstateMB). The exact backends are
+// interchangeable bit-for-bit; bitstate can omit states, so Result.Exact
+// reports false and Result.Space carries its omission-probability
+// estimate.
 //
 // # Trace-optional exploration
 //
@@ -58,6 +65,7 @@ import (
 	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
 	"verc3/internal/ts"
+	"verc3/internal/visited"
 )
 
 // Verdict is the outcome of a model-checking run.
@@ -160,6 +168,14 @@ type Result struct {
 	WildcardHit bool
 	// CapHit reports that the MaxStates cap stopped exploration.
 	CapHit bool
+	// Exact reports that the visited-set backend was lossless (flat, map):
+	// every distinct fingerprint offered was admitted, so state counts are
+	// exact and a Success verdict covers the full reachable space. False
+	// under the bitstate backend, which can silently omit states —
+	// Space.OmissionProb estimates the per-state risk. Note goal checking
+	// is affected in both directions under an inexact backend: an omitted
+	// state can also manifest as a spurious goal failure.
+	Exact bool
 	// Space is the memory profile of the exploration: visited-set size,
 	// frontier high-water mark, trace-store nodes (always 0 with
 	// RecordTrace off) and the structural bytes-retained estimate. The
@@ -228,9 +244,20 @@ type Options struct {
 	// counts of complete explorations are identical across drivers because
 	// both dedupe by the same canonical-key fingerprint.
 	Workers int
-	// ShardBits is log2 of the parallel visited set's shard count
-	// (0 = statespace.DefaultShardBits). Ignored by the sequential driver.
+	// ShardBits is log2 of the parallel visited set's shard (map backend)
+	// or stripe (flat backend) count; 0 selects the backend default
+	// (visited.DefaultShardBits / visited.DefaultFlatStripeBits). Ignored
+	// by the sequential driver and by the bitstate backend.
 	ShardBits int
+	// Visited selects the visited-set storage backend (internal/visited).
+	// The zero value is visited.Flat, the open-addressing table; Map is
+	// the original Go-map backend (exact, interchangeable with Flat);
+	// Bitstate trades exactness for a fixed memory budget — see
+	// Result.Exact.
+	Visited visited.Kind
+	// BitstateMB is the bitstate backend's bit-array budget in MiB
+	// (0 = visited.DefaultBitstateMB). Ignored by exact backends.
+	BitstateMB int
 	// MemStats additionally collects allocation counters
 	// (runtime.ReadMemStats deltas) into Result.Space. ReadMemStats stops
 	// the world, so leave this off in the synthesis inner loop; the cmd/
@@ -261,7 +288,7 @@ type checker struct {
 	goals []ts.ReachGoal
 	quies ts.QuiescentReporter
 
-	visited  map[statespace.Fingerprint]struct{}
+	visited  visited.Store
 	traces   *statespace.TraceStore[ts.State]
 	frontier statespace.Queue[item]
 	goalHit  []bool
@@ -300,7 +327,7 @@ func check(sys ts.System, opt Options) (*Result, error) {
 	c := &checker{
 		sys:     sys,
 		opt:     opt,
-		visited: make(map[statespace.Fingerprint]struct{}, 1024),
+		visited: visited.New(visitedConfig(opt)),
 		traces:  statespace.NewTraceStore[ts.State](opt.RecordTrace),
 	}
 	c.invs = sys.Invariants()
@@ -315,12 +342,29 @@ func check(sys ts.System, opt Options) (*Result, error) {
 	if err := c.run(); err != nil {
 		return nil, err
 	}
-	c.res.Space.States = len(c.visited)
 	c.res.Space.Transitions = c.res.Stats.FiredTransitions
 	c.res.Space.PeakFrontier = c.frontier.Peak()
 	c.res.Space.TraceNodes = c.traces.Nodes()
-	c.res.Space.SetRetained(unsafe.Sizeof(item{}), c.traces.NodeBytes())
+	fillSpace(&c.res, c.visited, unsafe.Sizeof(item{}), c.traces.NodeBytes())
 	return &c.res, nil
+}
+
+// visitedConfig maps checker options onto the storage layer's config.
+func visitedConfig(opt Options) visited.Config {
+	return visited.Config{Kind: opt.Visited, ShardBits: opt.ShardBits, BitstateMB: opt.BitstateMB}
+}
+
+// fillSpace folds the visited-set backend's self-report into the result's
+// memory profile and computes the retained-bytes figure.
+func fillSpace(res *Result, store visited.Store, itemBytes, nodeBytes uintptr) {
+	vs := store.Stats()
+	res.Space.States = vs.States
+	res.Space.VisitedBytes = vs.Bytes
+	res.Space.Backend = vs.Backend
+	res.Space.Inexact = !vs.Exact
+	res.Space.OmissionProb = vs.OmissionProb
+	res.Exact = vs.Exact
+	res.Space.SetRetained(itemBytes, nodeBytes)
 }
 
 // useParallel reports whether opt selects the parallel driver. DFS is
@@ -374,11 +418,9 @@ func tracePath(n *statespace.TraceNode[ts.State]) []TraceStep {
 // enqueue registers s if unseen and returns its frontier item and whether
 // it was fresh. The trace store allocates a node only under RecordTrace.
 func (c *checker) enqueue(s ts.State, parent *statespace.TraceNode[ts.State], rule string, depth int, mask uint64) (item, bool) {
-	fp := stateFingerprint(c.canon, s)
-	if _, seen := c.visited[fp]; seen {
+	if !c.visited.TryInsert(stateFingerprint(c.canon, s)) {
 		return item{}, false
 	}
-	c.visited[fp] = struct{}{}
 	it := item{state: s, node: c.traces.Add(s, rule, parent), depth: depth, mask: mask}
 	if depth > c.res.Stats.MaxDepth {
 		c.res.Stats.MaxDepth = depth
@@ -407,7 +449,7 @@ func (c *checker) checkState(it item) bool {
 // (nil with traces off, or for goal failures, which have no single trace).
 func (c *checker) fail(kind FailKind, name string, n *statespace.TraceNode[ts.State], mask uint64) {
 	c.res.Verdict = Failure
-	c.res.Stats.VisitedStates = len(c.visited)
+	c.res.Stats.VisitedStates = c.visited.Len()
 	fi := &FailureInfo{Kind: kind, Name: name, UsageMask: mask}
 	if n != nil {
 		fi.Trace = tracePath(n)
@@ -436,7 +478,7 @@ func (c *checker) run() error {
 		} else {
 			it, _ = c.frontier.PopFront()
 		}
-		if c.opt.MaxStates > 0 && len(c.visited) > c.opt.MaxStates {
+		if c.opt.MaxStates > 0 && c.visited.Len() > c.opt.MaxStates {
 			c.res.CapHit = true
 			break
 		}
@@ -448,7 +490,7 @@ func (c *checker) run() error {
 	if c.res.Verdict == Failure {
 		return nil
 	}
-	c.res.Stats.VisitedStates = len(c.visited)
+	c.res.Stats.VisitedStates = c.visited.Len()
 	if c.res.WildcardHit || c.res.CapHit {
 		c.res.Verdict = Unknown
 		return nil

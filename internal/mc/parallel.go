@@ -10,6 +10,7 @@ import (
 	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
 	"verc3/internal/ts"
+	"verc3/internal/visited"
 )
 
 // pitem is one frontier entry of the parallel driver: the state with its
@@ -38,7 +39,7 @@ type pchecker struct {
 	goals []ts.ReachGoal
 	quies ts.QuiescentReporter
 
-	visited *statespace.Set
+	visited visited.Store
 	traces  *statespace.TraceStore[ts.State]
 	goalHit []atomic.Bool
 
@@ -47,7 +48,10 @@ type pchecker struct {
 	maxDepth atomic.Int64 // max enqueued depth (same semantics as sequential)
 	wildcard atomic.Bool
 	capHit   atomic.Bool
-	peak     int // frontier high-water mark (updated between levels)
+	// peak is the frontier high-water mark: the largest cur-level +
+	// emitted-next-level coexistence reached during a level expansion
+	// (updated between levels, when both are fully known).
+	peak int
 
 	failMu  sync.Mutex
 	failure *FailureInfo
@@ -60,7 +64,7 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 		opt:     opt,
 		canon:   newCanon(sys, opt),
 		invs:    sys.Invariants(),
-		visited: statespace.NewSet(opt.ShardBits),
+		visited: visited.NewConcurrent(visitedConfig(opt)),
 		traces:  statespace.NewTraceStore[ts.State](opt.RecordTrace),
 	}
 	if gr, ok := sys.(ts.GoalReporter); ok {
@@ -144,7 +148,7 @@ func (c *pchecker) expand(it pitem, emit func(pitem)) (stop bool, err error) {
 		}
 		c.fired.Add(1)
 		succs++
-		if !c.visited.Add(c.fingerprint(next)) {
+		if !c.visited.TryInsert(c.fingerprint(next)) {
 			continue
 		}
 		child := pitem{state: next, node: c.traces.Add(next, tr.Name, it.node), depth: it.depth + 1}
@@ -176,7 +180,7 @@ func (c *pchecker) run() (*Result, error) {
 	var frontier []pitem
 	stopped := false
 	for _, s := range inits {
-		if !c.visited.Add(c.fingerprint(s)) {
+		if !c.visited.TryInsert(c.fingerprint(s)) {
 			continue
 		}
 		it := pitem{state: s, node: c.traces.Add(s, "", nil)}
@@ -193,13 +197,17 @@ func (c *pchecker) run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The true high-water mark is reached *during* the expansion, when
+		// the whole current level is still alive and the next level has
+		// been fully emitted — not the size of either level alone. A
+		// partial next level (stop mid-expansion) coexisted the same way.
+		if hw := len(frontier) + len(next); hw > c.peak {
+			c.peak = hw
+		}
 		if stop {
 			break
 		}
 		frontier = next
-		if len(frontier) > c.peak {
-			c.peak = len(frontier)
-		}
 	}
 	return c.finish(), nil
 }
@@ -217,11 +225,10 @@ func (c *pchecker) finish() *Result {
 		WildcardHit: c.wildcard.Load(),
 		CapHit:      c.capHit.Load(),
 	}
-	res.Space.States = c.visited.Len()
 	res.Space.Transitions = int(c.fired.Load())
 	res.Space.PeakFrontier = c.peak
 	res.Space.TraceNodes = c.traces.Nodes()
-	res.Space.SetRetained(unsafe.Sizeof(pitem{}), c.traces.NodeBytes())
+	fillSpace(res, c.visited, unsafe.Sizeof(pitem{}), c.traces.NodeBytes())
 	if c.failure != nil {
 		res.Verdict = Failure
 		res.Failure = c.failure

@@ -256,3 +256,46 @@ func TestShardBitsOption(t *testing.T) {
 		t.Fatalf("states = %d, want 50", res.Stats.VisitedStates)
 	}
 }
+
+// TestParallelPeakFrontierHighWater is the regression test for the
+// parallel driver's frontier accounting: during a level expansion the
+// whole current level is still alive while the next level accumulates, so
+// the high-water mark is the largest cur+next coexistence — not, as
+// previously reported, the largest single level. The graph below has
+// levels of sizes 1, 2, 4: the true peak is 2+4 = 6, while the buggy
+// largest-level figure was 4.
+func TestParallelPeakFrontierHighWater(t *testing.T) {
+	//        0
+	//      /   \
+	//     1     2
+	//    / \   / \
+	//   3   4 5   6   (terminals; quiescent, so no deadlock)
+	g := &toy.Graph{SysName: "tree", Init: []int{0}, Nodes: []toy.Node{
+		{Plain: []int{1, 2}},
+		{Plain: []int{3, 4}},
+		{Plain: []int{5, 6}},
+		{}, {}, {}, {},
+	}}
+	res, err := mc.Check(g, mc.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Success || res.Stats.VisitedStates != 7 {
+		t.Fatalf("got %v / %d states", res.Verdict, res.Stats.VisitedStates)
+	}
+	if res.Space.PeakFrontier != 6 {
+		t.Errorf("parallel PeakFrontier = %d, want 6 (level 2 alive + level 3 emitted)", res.Space.PeakFrontier)
+	}
+
+	// The sequential queue releases each entry as it is expanded, so its
+	// high-water mark on the same graph is lower (4): the drivers' peaks
+	// measure the same thing — frontier entries alive at once — under
+	// genuinely different retention behaviour.
+	seq, err := mc.Check(g, mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Space.PeakFrontier != 4 {
+		t.Errorf("sequential PeakFrontier = %d, want 4", seq.Space.PeakFrontier)
+	}
+}

@@ -1,0 +1,25 @@
+package statespace_test
+
+import (
+	"fmt"
+	"testing"
+
+	"verc3/internal/statespace"
+)
+
+// TestFingerprintDeterministicAndDistinct checks OfString is stable and
+// collision-free over a realistic population of state keys.
+func TestFingerprintDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[statespace.Fingerprint]string, 100000)
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("cache%d:M dir:{owner=%d,sharers=%b} net=[%d]", i%7, i%5, i, i)
+		fp := statespace.OfString(k)
+		if fp != statespace.OfString(k) {
+			t.Fatalf("OfString(%q) not deterministic", k)
+		}
+		if prev, dup := seen[fp]; dup && prev != k {
+			t.Fatalf("collision: %q and %q -> %x", prev, k, fp)
+		}
+		seen[fp] = k
+	}
+}

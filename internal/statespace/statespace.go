@@ -1,17 +1,18 @@
-// Package statespace provides the state-storage and parallel-exploration
-// substrate of VerC3's embedded model checker: 64-bit state fingerprints, a
-// sharded concurrent visited set, a ring-buffer frontier queue, a
-// level-synchronous work distributor for parallel breadth-first search, an
-// optional parent-linked trace store, and a memory profile (Stats) of an
-// exploration run.
+// Package statespace provides the exploration substrate of VerC3's
+// embedded model checker: 64-bit state fingerprints, a ring-buffer
+// frontier queue, a level-synchronous work distributor for parallel
+// breadth-first search, an optional parent-linked trace store, and a
+// memory profile (Stats) of an exploration run. The visited-set storage
+// itself is pluggable and lives in the sibling package internal/visited
+// (map, flat open-addressing, and SPIN-style bitstate backends), all keyed
+// by this package's Fingerprint.
 //
 // The package is deliberately independent of the modelling layer (it knows
 // nothing about ts.State): the checker canonicalizes a state to its key
 // string, fingerprints it with OfString, and stores only the fingerprint.
 // Dropping the string keys removes the dominant allocation of the
-// exploration hot path and shrinks the visited set to 8 bytes per state;
-// sharding the set (Set) lets exploration workers insert concurrently with
-// per-shard mutexes instead of one global lock.
+// exploration hot path and shrinks the visited set to 8 bytes of payload
+// per state.
 //
 // Exploration is trace-optional. The frontier (Queue sequentially, the
 // levels of ExpandLevel in parallel) carries states directly and releases

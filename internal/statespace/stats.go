@@ -3,9 +3,9 @@ package statespace
 import "fmt"
 
 // FingerprintBytes is the per-state payload of the visited set: one 64-bit
-// fingerprint. The structural retained-bytes estimate uses it as the
-// per-state floor (map bucket overhead is implementation-defined and not
-// counted).
+// fingerprint. The structural retained-bytes estimate falls back to it as
+// the per-state floor when no backend measurement (VisitedBytes) is
+// available.
 const FingerprintBytes = 8
 
 // Stats is the memory-oriented profile of one exploration run, the number
@@ -18,21 +18,42 @@ type Stats struct {
 	// Transitions is the number of successful transition firings.
 	Transitions int
 	// PeakFrontier is the frontier high-water mark: the largest queue
-	// length (sequential driver) or largest BFS level (parallel driver).
-	// With trace recording off it bounds the number of states alive at
-	// once.
+	// length (sequential driver) or, for the parallel driver, the largest
+	// current-level + emitted-next-level coexistence during a level
+	// expansion — the true number of frontier entries alive at once, not
+	// just the largest single level. With trace recording off it bounds
+	// the number of states alive at once.
 	PeakFrontier int
 	// TraceNodes is the number of parent-linked trace-store nodes retained.
 	// Always 0 with trace recording off — the acceptance criterion of the
 	// no-trace representation.
 	TraceNodes int
 	// BytesRetained is the structural estimate of exploration memory at its
-	// peak: States×FingerprintBytes for the visited set, the frontier
-	// high-water mark, and the trace store. It deliberately counts only
-	// checker-owned structures (not what model states themselves point to),
-	// so trace-on versus trace-off runs of the same system are directly
-	// comparable.
+	// peak: the visited set (VisitedBytes when the backend measured it,
+	// States×FingerprintBytes otherwise), the frontier high-water mark, and
+	// the trace store. It deliberately counts only checker-owned structures
+	// (not what model states themselves point to), so trace-on versus
+	// trace-off runs of the same system are directly comparable.
 	BytesRetained int64
+	// VisitedBytes is the visited-set backend's measured storage footprint
+	// (internal/visited Store.Bytes): exact array sizes for the flat and
+	// bitstate backends, a documented geometry model for the map backend.
+	// Unlike the seed's 8-bytes-per-state estimate it includes the ~2×
+	// structural overhead of map storage and the slack of power-of-two
+	// tables. Zero when no backend reported (hand-built Stats).
+	VisitedBytes int64
+	// Backend names the visited-set backend ("flat", "map", "bitstate";
+	// "mixed" after merging runs with different backends).
+	Backend string
+	// Inexact reports that the visited set was lossy (bitstate): states
+	// may have been omitted, so States/Transitions are lower bounds and a
+	// clean verdict is probabilistic. The zero value (exact) matches every
+	// backend except bitstate.
+	Inexact bool
+	// OmissionProb is the lossy backend's end-of-run estimate of the
+	// probability that a never-seen state was reported as visited (see
+	// visited.Stats.OmissionProb). Zero for exact backends.
+	OmissionProb float64
 	// Mallocs and AllocBytes are runtime.ReadMemStats deltas over the run
 	// (heap allocation count and cumulative bytes). Populated only when the
 	// caller asked for them (mc.Options.MemStats): ReadMemStats stops the
@@ -45,9 +66,15 @@ type Stats struct {
 }
 
 // SetRetained computes BytesRetained from the structural counters, given
-// the caller's frontier-item and trace-node footprints.
+// the caller's frontier-item and trace-node footprints. The visited set
+// contributes its measured backend footprint (VisitedBytes) when one was
+// recorded, else the 8-bytes-per-state floor.
 func (s *Stats) SetRetained(itemBytes, nodeBytes uintptr) {
-	s.BytesRetained = int64(s.States)*FingerprintBytes +
+	vb := s.VisitedBytes
+	if vb == 0 {
+		vb = int64(s.States) * FingerprintBytes
+	}
+	s.BytesRetained = vb +
 		int64(s.PeakFrontier)*int64(itemBytes) +
 		int64(s.TraceNodes)*int64(nodeBytes)
 }
@@ -69,6 +96,19 @@ func (s *Stats) Merge(o Stats) {
 	if o.BytesRetained > s.BytesRetained {
 		s.BytesRetained = o.BytesRetained
 	}
+	if o.VisitedBytes > s.VisitedBytes {
+		s.VisitedBytes = o.VisitedBytes
+	}
+	switch {
+	case s.Backend == "":
+		s.Backend = o.Backend
+	case o.Backend != "" && o.Backend != s.Backend:
+		s.Backend = "mixed"
+	}
+	s.Inexact = s.Inexact || o.Inexact
+	if o.OmissionProb > s.OmissionProb {
+		s.OmissionProb = o.OmissionProb
+	}
 	s.Mallocs += o.Mallocs
 	s.AllocBytes += o.AllocBytes
 }
@@ -77,6 +117,12 @@ func (s *Stats) Merge(o Stats) {
 func (s Stats) String() string {
 	out := fmt.Sprintf("states=%d transitions=%d peak-frontier=%d trace-nodes=%d retained~%s",
 		s.States, s.Transitions, s.PeakFrontier, s.TraceNodes, humanBytes(s.BytesRetained))
+	if s.Backend != "" {
+		out += fmt.Sprintf(" visited=%s:%s", s.Backend, humanBytes(s.VisitedBytes))
+	}
+	if s.Inexact {
+		out += fmt.Sprintf(" INEXACT p(omit)~%.2g", s.OmissionProb)
+	}
 	if s.Mallocs > 0 {
 		out += fmt.Sprintf(" allocs=%d (%s)", s.Mallocs, humanBytes(int64(s.AllocBytes)))
 	}

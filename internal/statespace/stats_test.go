@@ -18,15 +18,30 @@ func TestStatsSetRetained(t *testing.T) {
 	if want := int64(100*FingerprintBytes + 10*40); s.BytesRetained != want {
 		t.Fatalf("no-trace BytesRetained = %d, want %d", s.BytesRetained, want)
 	}
+	// A backend-measured visited set replaces the 8-bytes-per-state floor.
+	s.VisitedBytes = 4096
+	s.SetRetained(40, 48)
+	if want := int64(4096 + 10*40); s.BytesRetained != want {
+		t.Fatalf("measured-visited BytesRetained = %d, want %d", s.BytesRetained, want)
+	}
 }
 
 // TestStatsMerge checks counters sum and high-water fields take the max.
 func TestStatsMerge(t *testing.T) {
-	a := Stats{States: 10, Transitions: 20, PeakFrontier: 5, TraceNodes: 1, BytesRetained: 100, Mallocs: 7, AllocBytes: 70}
-	a.Merge(Stats{States: 3, Transitions: 4, PeakFrontier: 9, TraceNodes: 2, BytesRetained: 50, Mallocs: 1, AllocBytes: 10})
-	want := Stats{States: 13, Transitions: 24, PeakFrontier: 9, TraceNodes: 3, BytesRetained: 100, Mallocs: 8, AllocBytes: 80}
+	a := Stats{States: 10, Transitions: 20, PeakFrontier: 5, TraceNodes: 1, BytesRetained: 100, VisitedBytes: 80, Backend: "flat", Mallocs: 7, AllocBytes: 70}
+	a.Merge(Stats{States: 3, Transitions: 4, PeakFrontier: 9, TraceNodes: 2, BytesRetained: 50, VisitedBytes: 90, Backend: "flat", Mallocs: 1, AllocBytes: 10})
+	want := Stats{States: 13, Transitions: 24, PeakFrontier: 9, TraceNodes: 3, BytesRetained: 100, VisitedBytes: 90, Backend: "flat", Mallocs: 8, AllocBytes: 80}
 	if a != want {
 		t.Fatalf("merged = %+v, want %+v", a, want)
+	}
+	// Lossiness is sticky and differing backends degrade to "mixed".
+	a.Merge(Stats{Backend: "bitstate", Inexact: true, OmissionProb: 0.25})
+	if a.Backend != "mixed" || !a.Inexact || a.OmissionProb != 0.25 {
+		t.Fatalf("lossy merge = %+v", a)
+	}
+	a.Merge(Stats{Backend: "map"})
+	if a.Backend != "mixed" || !a.Inexact {
+		t.Fatalf("second merge = %+v", a)
 	}
 }
 
@@ -38,8 +53,16 @@ func TestStatsString(t *testing.T) {
 	if !strings.Contains(got, "retained~2.0KiB") || strings.Contains(got, "allocs") {
 		t.Errorf("String() = %q", got)
 	}
-	s.Mallocs, s.AllocBytes = 5, 3 << 20
+	s.Mallocs, s.AllocBytes = 5, 3<<20
 	if got := s.String(); !strings.Contains(got, "allocs=5 (3.0MiB)") {
 		t.Errorf("String() with allocs = %q", got)
+	}
+	s.Backend, s.VisitedBytes = "flat", 1024
+	if got := s.String(); !strings.Contains(got, "visited=flat:1.0KiB") || strings.Contains(got, "INEXACT") {
+		t.Errorf("String() with backend = %q", got)
+	}
+	s.Inexact, s.OmissionProb = true, 1.5e-4
+	if got := s.String(); !strings.Contains(got, "INEXACT p(omit)~0.00015") {
+		t.Errorf("String() inexact = %q", got)
 	}
 }

@@ -1,0 +1,127 @@
+package visited
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"verc3/internal/statespace"
+)
+
+// bitstate is the SPIN-style lossy tier: K derived hash positions per
+// fingerprint are set in a fixed-size bit array, and a fingerprint whose K
+// bits are all already set is reported as visited. Memory never grows past
+// the configured budget; the price is that a never-seen state can collide
+// on all K bits and be silently omitted from the search (Exact() == false).
+//
+// All operations are lock-free atomics, so one implementation serves both
+// the sequential and the parallel driver. Under concurrency two racing
+// inserts of the same fingerprint can, very rarely, both be admitted (each
+// sets a disjoint subset of the K bits first); the duplicate expansion is
+// harmless — its successors still deduplicate — and only nudges the
+// transition counters, which are approximate under this backend anyway.
+type bitstate struct {
+	words    []uint64 // accessed atomically
+	nbits    uint64
+	k        int
+	admitted atomic.Int64
+	ones     atomic.Int64
+}
+
+func newBitstate(cfg Config) *bitstate {
+	mb := cfg.BitstateMB
+	if mb <= 0 {
+		mb = DefaultBitstateMB
+	}
+	k := cfg.BitstateHashes
+	if k <= 0 {
+		k = DefaultBitstateHashes
+	}
+	return newBitstateBits(uint64(mb)<<23, k) // 1 MiB = 2²³ bits
+}
+
+// newBitstateBits sizes the array directly; tests use it to reach fills
+// where the omission probability is measurable.
+func newBitstateBits(nbits uint64, k int) *bitstate {
+	return &bitstate{words: make([]uint64, (nbits+63)/64), nbits: nbits, k: k}
+}
+
+// mix is the splitmix64 finalizer, used to derive independent bit positions
+// from the one 64-bit fingerprint.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// position maps a derived hash onto [0, nbits) without requiring a
+// power-of-two budget (Lemire's multiply-shift reduction).
+func (b *bitstate) position(h uint64) uint64 {
+	hi, _ := bits.Mul64(h, b.nbits)
+	return hi
+}
+
+// setBit sets the bit and reports whether it was previously clear.
+func (b *bitstate) setBit(pos uint64) bool {
+	word := &b.words[pos>>6]
+	mask := uint64(1) << (pos & 63)
+	for {
+		old := atomic.LoadUint64(word)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(word, old, old|mask) {
+			b.ones.Add(1)
+			return true
+		}
+	}
+}
+
+func (b *bitstate) TryInsert(fp statespace.Fingerprint) bool {
+	// Double hashing over the mixed fingerprint: h1 + i·h2 yields K
+	// positions that are pairwise independent enough for the Bloom-filter
+	// omission analysis (h2 forced odd so the stride never degenerates).
+	h1 := mix(uint64(fp))
+	h2 := mix(uint64(fp)+fibMix) | 1
+	fresh := false
+	for i := 0; i < b.k; i++ {
+		if b.setBit(b.position(h1 + uint64(i)*h2)) {
+			fresh = true
+		}
+	}
+	if fresh {
+		b.admitted.Add(1)
+	}
+	return fresh
+}
+
+// Len is the number of fingerprints admitted as new — with omissions, a
+// lower bound on the distinct fingerprints offered.
+func (b *bitstate) Len() int { return int(b.admitted.Load()) }
+
+func (b *bitstate) Bytes() int64 { return int64(len(b.words)) * 8 }
+func (b *bitstate) Exact() bool  { return false }
+
+// OmissionProb estimates the probability that probing a never-seen
+// fingerprint reports "already visited" at the current fill: (ones/m)^K,
+// the chance all K independent positions land on set bits. This is the
+// per-state omission risk at the end of the run; earlier probes faced a
+// sparser array, so it upper-bounds the average risk over the run.
+func (b *bitstate) OmissionProb() float64 {
+	fill := float64(b.ones.Load()) / float64(b.nbits)
+	return math.Pow(fill, float64(b.k))
+}
+
+func (b *bitstate) Stats() Stats {
+	return Stats{
+		Backend:      Bitstate.String(),
+		States:       b.Len(),
+		Bytes:        b.Bytes(),
+		Exact:        false,
+		BitsSet:      b.ones.Load(),
+		OmissionProb: b.OmissionProb(),
+	}
+}

@@ -1,0 +1,186 @@
+package visited
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"verc3/internal/statespace"
+)
+
+const (
+	// flatInitialSlots is a fresh table's capacity: 2KiB, far below the
+	// 1024-entry map the sequential checker used to pre-allocate per run,
+	// which matters when synthesis makes millions of small dispatches.
+	flatInitialSlots = 256
+	// flatMinStripeSlots keeps the per-stripe tables of the concurrent
+	// variant tiny until they actually fill.
+	flatMinStripeSlots = 32
+	// fibMix is 2⁶⁴/φ, the Fibonacci-hashing multiplier: slot indices come
+	// from the top bits of fp*fibMix, decorrelating the probe sequence
+	// from the low fingerprint bits that pick the stripe.
+	fibMix = 0x9E3779B97F4A7C15
+)
+
+// flatTable is the open-addressing core shared by the sequential and the
+// lock-striped Flat variants: a power-of-two slice of raw 8-byte
+// fingerprints, linear probing, growth by doubling past 7/8 load. The zero
+// fingerprint cannot live in a slot (0 marks "empty") and is tracked in a
+// sideband bool.
+type flatTable struct {
+	slots   []uint64
+	used    int // occupied slots (excludes the zero-fingerprint sideband)
+	hasZero bool
+	grows   int
+}
+
+// home returns fp's preferred slot index: bits 32..32+b of fp*fibMix for a
+// table of 2^b slots (b <= 32 always holds — 2³² slots would be a 32GiB
+// stripe), which are well mixed regardless of the fingerprint's low bits.
+func home(fp uint64, mask int) int {
+	return int((fp * fibMix) >> 32 & uint64(mask))
+}
+
+// tryInsert probes for fp, inserting it if absent. minSlots bounds the
+// initial allocation (the striped variant starts smaller).
+func (t *flatTable) tryInsert(fp uint64, minSlots int) bool {
+	if fp == 0 {
+		if t.hasZero {
+			return false
+		}
+		t.hasZero = true
+		return true
+	}
+	if t.slots == nil {
+		t.slots = make([]uint64, minSlots)
+	} else if 8*(t.used+1) > 7*len(t.slots) {
+		t.grow()
+	}
+	mask := len(t.slots) - 1
+	i := home(fp, mask)
+	for {
+		switch s := t.slots[i]; s {
+		case 0:
+			t.slots[i] = fp
+			t.used++
+			return true
+		case fp:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the table and rehashes every occupant.
+func (t *flatTable) grow() {
+	old := t.slots
+	t.slots = make([]uint64, 2*len(old))
+	t.grows++
+	mask := len(t.slots) - 1
+	for _, fp := range old {
+		if fp == 0 {
+			continue
+		}
+		i := home(fp, mask)
+		for t.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = fp
+	}
+}
+
+func (t *flatTable) len() int {
+	n := t.used
+	if t.hasZero {
+		n++
+	}
+	return n
+}
+
+func (t *flatTable) bytes() int64 { return int64(len(t.slots)) * 8 }
+
+// flat is the single-goroutine Flat backend.
+type flat struct {
+	t flatTable
+}
+
+func newFlat() *flat { return &flat{} }
+
+func (f *flat) TryInsert(fp statespace.Fingerprint) bool {
+	return f.t.tryInsert(uint64(fp), flatInitialSlots)
+}
+
+func (f *flat) Len() int     { return f.t.len() }
+func (f *flat) Bytes() int64 { return f.t.bytes() }
+func (f *flat) Exact() bool  { return true }
+
+func (f *flat) Stats() Stats {
+	return Stats{Backend: Flat.String(), States: f.Len(), Bytes: f.Bytes(), Exact: true, Grows: f.t.grows}
+}
+
+// stripe is one lock-striped sub-table of the concurrent Flat variant,
+// padded to a whole number of cache lines (mutex 8 + flatTable 48 + pad =
+// 128) so neighbouring stripes' mutexes and table bookkeeping never share
+// a line. TestStripePadding pins the arithmetic.
+type stripe struct {
+	mu sync.Mutex
+	t  flatTable
+	_  [128 - 8 - unsafe.Sizeof(flatTable{})]byte
+}
+
+// stripedFlat is the concurrent Flat variant for the parallel driver: the
+// fingerprint's low bits select an independent flatTable guarded by its own
+// mutex, so probing and growth never cross a stripe boundary and the
+// critical section is a handful of word comparisons.
+type stripedFlat struct {
+	stripes []stripe
+	mask    uint64
+	count   atomic.Int64
+}
+
+func newStripedFlat(stripeBits int) *stripedFlat {
+	n := 1 << uint(clampBits(stripeBits, DefaultFlatStripeBits))
+	return &stripedFlat{stripes: make([]stripe, n), mask: uint64(n - 1)}
+}
+
+func (s *stripedFlat) TryInsert(fp statespace.Fingerprint) bool {
+	st := &s.stripes[uint64(fp)&s.mask]
+	st.mu.Lock()
+	fresh := st.t.tryInsert(uint64(fp), flatMinStripeSlots)
+	st.mu.Unlock()
+	if fresh {
+		s.count.Add(1)
+	}
+	return fresh
+}
+
+func (s *stripedFlat) Len() int { return int(s.count.Load()) }
+
+// Bytes locks each stripe in turn; call it between levels or after the
+// run, not on the insert path.
+func (s *stripedFlat) Bytes() int64 {
+	total := int64(len(s.stripes)) * int64(unsafe.Sizeof(stripe{})) // padded stripe structs
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		total += st.t.bytes()
+		st.mu.Unlock()
+	}
+	return total
+}
+
+func (s *stripedFlat) Exact() bool { return true }
+
+func (s *stripedFlat) Stats() Stats {
+	st := Stats{Backend: Flat.String(), States: s.Len(), Bytes: s.Bytes(), Exact: true}
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		st.Grows += sp.t.grows
+		sp.mu.Unlock()
+	}
+	return st
+}
+
+// Stripes reports the stripe count (a power of two).
+func (s *stripedFlat) Stripes() int { return len(s.stripes) }

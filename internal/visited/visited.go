@@ -1,0 +1,203 @@
+// Package visited provides the pluggable visited-set storage layer of the
+// model checker: every exploration driver deduplicates states through a
+// Store keyed by 64-bit statespace.Fingerprints, and the backend behind the
+// Store decides the memory/exactness trade of the whole run.
+//
+// Three backends are provided, in decreasing order of bytes per state:
+//
+//   - Map: Go maps of fingerprints, lock-striped into shards for concurrent
+//     insertion (the checker's original visited set). Exact. The runtime's
+//     map machinery costs roughly 2× the 8-byte fingerprint per state.
+//   - Flat: an open-addressing table of raw 8-byte fingerprints with linear
+//     probing and power-of-two growth — Murphi-style hash compaction
+//     without the compaction, since the full fingerprint is kept. Exact,
+//     and the default backend: same dedupe semantics as Map at a fraction
+//     of the footprint and allocation count.
+//   - Bitstate: SPIN-style bitstate hashing. K derived hash positions per
+//     fingerprint are set in a bit array of fixed size (BitstateMB); a
+//     state whose bits are all already set is treated as visited. The
+//     memory budget never grows, but distinct states can collide on all K
+//     bits and be omitted from the search — the backend is inexact and
+//     reports an omission-probability estimate (Stats.OmissionProb).
+//
+// Exactness here is relative to fingerprints: an exact backend admits
+// precisely the distinct fingerprints it is offered, so Map and Flat are
+// interchangeable bit-for-bit (the zoo equivalence tests pin this), while
+// Bitstate may reject never-seen fingerprints. The separate, much smaller
+// risk that two distinct states collide on their 64-bit fingerprint is a
+// property of the keying scheme (see package statespace), not the store.
+//
+// Stores come in two flavours: New builds a single-goroutine store for the
+// sequential exploration driver (no locks on the insert path), and
+// NewConcurrent builds a goroutine-safe store for the parallel driver
+// (lock-striped for Map and Flat, lock-free atomics for Bitstate).
+package visited
+
+import (
+	"fmt"
+
+	"verc3/internal/statespace"
+)
+
+// Kind selects the visited-set backend. The zero value is Flat, the
+// default across the checker.
+type Kind int
+
+const (
+	// Flat is the open-addressing fingerprint table (exact, default).
+	Flat Kind = iota
+	// Map is the Go-map backend (exact; the original implementation).
+	Map
+	// Bitstate is SPIN-style bitstate hashing (fixed memory, inexact).
+	Bitstate
+)
+
+// String returns the backend name as accepted by ParseKind.
+func (k Kind) String() string {
+	switch k {
+	case Flat:
+		return "flat"
+	case Map:
+		return "map"
+	case Bitstate:
+		return "bitstate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Exact reports whether the backend admits exactly the distinct
+// fingerprints offered to it. Inexact backends (Bitstate) can omit states,
+// so exploration results over them are lower bounds.
+func (k Kind) Exact() bool { return k != Bitstate }
+
+// ParseKind parses a backend name as used by the cmd/ -visited flags.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "flat":
+		return Flat, nil
+	case "map":
+		return Map, nil
+	case "bitstate":
+		return Bitstate, nil
+	default:
+		return 0, fmt.Errorf("visited: unknown backend %q (have flat, map, bitstate)", s)
+	}
+}
+
+const (
+	// DefaultShardBits is the shard-count exponent of the concurrent Map
+	// backend when Config.ShardBits <= 0: 2⁸ = 256 shards keeps the
+	// expected queue depth per shard lock near zero even with dozens of
+	// exploration workers.
+	DefaultShardBits = 8
+	// DefaultFlatStripeBits is the stripe-count exponent of the concurrent
+	// Flat backend: its critical sections are a handful of probes, so 2⁶ =
+	// 64 stripes suffice and keep the small-run footprint low.
+	DefaultFlatStripeBits = 6
+	// MaxShardBits caps shard/stripe counts at 2¹⁶; beyond that the fixed
+	// per-shard overhead dominates memory for no additional concurrency.
+	MaxShardBits = 16
+	// DefaultBitstateMB is the Bitstate bit-array budget when
+	// Config.BitstateMB <= 0.
+	DefaultBitstateMB = 64
+	// DefaultBitstateHashes is the number of derived hash positions (K)
+	// set per fingerprint when Config.BitstateHashes <= 0. SPIN's classic
+	// choice is 2–3; 3 keeps the omission probability lower for the same
+	// budget until the array passes ~25% fill.
+	DefaultBitstateHashes = 3
+)
+
+// Config selects and sizes a backend.
+type Config struct {
+	// Kind is the backend (zero value = Flat).
+	Kind Kind
+	// ShardBits is log2 of the shard (Map) or stripe (Flat) count of the
+	// concurrent variants; <= 0 selects the backend default, values above
+	// MaxShardBits are clamped. Ignored by New and by Bitstate.
+	ShardBits int
+	// BitstateMB is the Bitstate bit-array budget in MiB (<= 0 =
+	// DefaultBitstateMB). The array is allocated once and never grows.
+	BitstateMB int
+	// BitstateHashes is Bitstate's K (<= 0 = DefaultBitstateHashes).
+	BitstateHashes int
+}
+
+// Stats is a backend's self-report, surfaced through statespace.Stats so
+// -stats outputs and experiments can compare storage layers.
+type Stats struct {
+	// Backend is the Kind name.
+	Backend string
+	// States is Len(): distinct fingerprints admitted (for Bitstate, the
+	// number of TryInsert calls that were treated as new).
+	States int
+	// Bytes is the measured storage footprint: exact array sizes for Flat
+	// and Bitstate, a documented geometry model for Map (Go maps cannot be
+	// introspected portably; see mapBytes).
+	Bytes int64
+	// Exact mirrors Kind.Exact.
+	Exact bool
+	// Grows counts table growths (Flat) — each one is a full rehash.
+	Grows int
+	// BitsSet is the number of one-bits in the Bitstate array.
+	BitsSet int64
+	// OmissionProb is Bitstate's estimate of the probability that a probe
+	// of a never-seen fingerprint reports "already visited" — the
+	// per-state omission risk at the current fill, (BitsSet/m)^K. Zero for
+	// exact backends.
+	OmissionProb float64
+}
+
+// Store is the visited-set contract shared by both exploration drivers.
+// TryInsert is the only hot-path method; the rest are end-of-run hooks.
+type Store interface {
+	// TryInsert admits fp and reports whether it was absent — i.e. the
+	// caller is the first to visit this state and owns its expansion. For
+	// Bitstate, "absent" is probabilistic: a false report omits the state.
+	TryInsert(fp statespace.Fingerprint) bool
+	// Len returns the number of fingerprints admitted.
+	Len() int
+	// Bytes returns the measured storage footprint (see Stats.Bytes).
+	Bytes() int64
+	// Exact mirrors Kind.Exact for the backing backend.
+	Exact() bool
+	// Stats returns the full self-report.
+	Stats() Stats
+}
+
+// New builds a single-goroutine store: the sequential driver's insert path
+// stays lock-free. The returned store must not be used concurrently
+// (except Bitstate, which is always goroutine-safe).
+func New(cfg Config) Store {
+	switch cfg.Kind {
+	case Map:
+		return newMapStore()
+	case Bitstate:
+		return newBitstate(cfg)
+	default:
+		return newFlat()
+	}
+}
+
+// NewConcurrent builds a goroutine-safe store for the parallel driver.
+func NewConcurrent(cfg Config) Store {
+	switch cfg.Kind {
+	case Map:
+		return newShardedMap(cfg.ShardBits)
+	case Bitstate:
+		return newBitstate(cfg)
+	default:
+		return newStripedFlat(cfg.ShardBits)
+	}
+}
+
+// clampBits normalizes a shard/stripe exponent.
+func clampBits(bits, def int) int {
+	if bits <= 0 {
+		bits = def
+	}
+	if bits > MaxShardBits {
+		bits = MaxShardBits
+	}
+	return bits
+}

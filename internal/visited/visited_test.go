@@ -1,0 +1,317 @@
+package visited
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"verc3/internal/statespace"
+)
+
+// fpOf derives the i-th test fingerprint. mix is a bijection (splitmix64's
+// finalizer), so distinct i yield distinct fingerprints by construction.
+func fpOf(i int) statespace.Fingerprint {
+	return statespace.Fingerprint(mix(uint64(i) + 1))
+}
+
+// TestKindStringParse round-trips every backend name through ParseKind.
+func TestKindStringParse(t *testing.T) {
+	for _, k := range []Kind{Flat, Map, Bitstate} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("disk"); err == nil {
+		t.Error("ParseKind accepted an unknown backend")
+	}
+	if Bitstate.Exact() || !Flat.Exact() || !Map.Exact() {
+		t.Error("Exact() flags wrong")
+	}
+}
+
+// TestStoreContract checks the Store contract on every backend in both
+// flavours: first TryInsert of a fingerprint reports true, duplicates
+// report false, Len counts admissions, and the self-report is coherent.
+// The bitstate budget is large enough here that omissions are (for this
+// deterministic fingerprint population) absent, so even the inexact
+// backend must behave exactly.
+func TestStoreContract(t *testing.T) {
+	const n = 5000
+	build := map[string]func(Kind) Store{
+		"sequential": func(k Kind) Store { return New(Config{Kind: k, BitstateMB: 1}) },
+		"concurrent": func(k Kind) Store { return NewConcurrent(Config{Kind: k, BitstateMB: 1}) },
+	}
+	for flavour, mk := range build {
+		for _, kind := range []Kind{Flat, Map, Bitstate} {
+			t.Run(flavour+"/"+kind.String(), func(t *testing.T) {
+				s := mk(kind)
+				if s.Exact() != kind.Exact() {
+					t.Fatalf("Exact() = %v, want %v", s.Exact(), kind.Exact())
+				}
+				for i := 0; i < n; i++ {
+					if !s.TryInsert(fpOf(i)) {
+						t.Fatalf("first TryInsert(%d) returned false", i)
+					}
+					if s.TryInsert(fpOf(i)) {
+						t.Fatalf("duplicate TryInsert(%d) returned true", i)
+					}
+				}
+				if s.Len() != n {
+					t.Fatalf("Len = %d, want %d", s.Len(), n)
+				}
+				if s.Bytes() <= 0 {
+					t.Errorf("Bytes = %d", s.Bytes())
+				}
+				st := s.Stats()
+				if st.Backend != kind.String() || st.States != n || st.Bytes != s.Bytes() || st.Exact != kind.Exact() {
+					t.Errorf("Stats = %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestFlatZeroFingerprint pins the sideband handling of the one value the
+// open-addressing slots cannot hold.
+func TestFlatZeroFingerprint(t *testing.T) {
+	for name, s := range map[string]Store{
+		"flat":    New(Config{Kind: Flat}),
+		"striped": NewConcurrent(Config{Kind: Flat}),
+	} {
+		if !s.TryInsert(0) {
+			t.Errorf("%s: first TryInsert(0) returned false", name)
+		}
+		if s.TryInsert(0) {
+			t.Errorf("%s: duplicate TryInsert(0) returned true", name)
+		}
+		if s.Len() != 1 {
+			t.Errorf("%s: Len = %d, want 1", name, s.Len())
+		}
+	}
+}
+
+// TestFlatMatchesMapOracle is the deterministic differential test behind
+// FuzzFlatVsMapOracle: over a duplicate-heavy fingerprint stream, both
+// Flat variants must report exactly what a reference Go map reports, call
+// by call.
+func TestFlatMatchesMapOracle(t *testing.T) {
+	stores := map[string]Store{
+		"flat":    New(Config{Kind: Flat}),
+		"striped": NewConcurrent(Config{Kind: Flat, ShardBits: 2}),
+	}
+	for name, s := range stores {
+		oracle := make(map[statespace.Fingerprint]bool)
+		for i := 0; i < 30000; i++ {
+			fp := fpOf(i % 2500 * (i%3 + 1)) // revisits with gaps
+			want := !oracle[fp]
+			oracle[fp] = true
+			if got := s.TryInsert(fp); got != want {
+				t.Fatalf("%s: step %d fp %x: TryInsert = %v, oracle says %v", name, i, fp, got, want)
+			}
+		}
+		if s.Len() != len(oracle) {
+			t.Errorf("%s: Len = %d, oracle has %d", name, s.Len(), len(oracle))
+		}
+	}
+}
+
+// TestFlatGrowth forces multiple doublings and checks no occupant is
+// forgotten or duplicated across rehashes.
+func TestFlatGrowth(t *testing.T) {
+	f := newFlat()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if !f.TryInsert(fpOf(i)) {
+			t.Fatalf("lost insert %d", i)
+		}
+	}
+	if f.t.grows == 0 {
+		t.Fatal("no growth over 100k inserts")
+	}
+	if got := len(f.t.slots); got&(got-1) != 0 {
+		t.Errorf("slot count %d not a power of two", got)
+	}
+	if 8*f.t.used > 7*len(f.t.slots) {
+		t.Errorf("load %d/%d above the 7/8 cap", f.t.used, len(f.t.slots))
+	}
+	for i := 0; i < n; i++ {
+		if f.TryInsert(fpOf(i)) {
+			t.Fatalf("occupant %d lost across growth", i)
+		}
+	}
+	if f.Len() != n {
+		t.Errorf("Len = %d, want %d", f.Len(), n)
+	}
+}
+
+// TestStripePadding pins the cache-line layout of the concurrent
+// variants' striped structs: both must be a whole number of 64-byte lines
+// so neighbouring locks never false-share, and Bytes() must account the
+// full padded struct.
+func TestStripePadding(t *testing.T) {
+	if sz := unsafe.Sizeof(stripe{}); sz%64 != 0 {
+		t.Errorf("stripe size %d is not a multiple of a cache line", sz)
+	}
+	if sz := unsafe.Sizeof(shard{}); sz%64 != 0 {
+		t.Errorf("shard size %d is not a multiple of a cache line", sz)
+	}
+	// An empty striped store's footprint is exactly its stripe array.
+	s := newStripedFlat(3)
+	if want := int64(8 * unsafe.Sizeof(stripe{})); s.Bytes() != want {
+		t.Errorf("empty stripedFlat Bytes = %d, want %d", s.Bytes(), want)
+	}
+}
+
+// TestShardStripeClamping checks the defaulting/clamping of the concurrent
+// variants' shard and stripe exponents.
+func TestShardStripeClamping(t *testing.T) {
+	if got := newShardedMap(0).Shards(); got != 1<<DefaultShardBits {
+		t.Errorf("default map shards = %d", got)
+	}
+	if got := newShardedMap(40).Shards(); got != 1<<MaxShardBits {
+		t.Errorf("oversized map shards = %d", got)
+	}
+	if got := newStripedFlat(-1).Stripes(); got != 1<<DefaultFlatStripeBits {
+		t.Errorf("default flat stripes = %d", got)
+	}
+	if got := newStripedFlat(3).Stripes(); got != 8 {
+		t.Errorf("flat stripes(3) = %d", got)
+	}
+}
+
+// TestBitstateBudget pins the fixed-memory contract: the array is sized by
+// BitstateMB and never grows, whatever is inserted.
+func TestBitstateBudget(t *testing.T) {
+	b := newBitstate(Config{Kind: Bitstate, BitstateMB: 1})
+	want := int64(1 << 20) // 1 MiB of bits = 2²³ bits = 2²⁰ bytes
+	if b.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", b.Bytes(), want)
+	}
+	for i := 0; i < 200000; i++ {
+		b.TryInsert(fpOf(i))
+	}
+	if b.Bytes() != want {
+		t.Errorf("Bytes grew to %d", b.Bytes())
+	}
+	if b.Len() > 200000 {
+		t.Errorf("Len = %d exceeds inserts", b.Len())
+	}
+}
+
+// TestBitstateOmissionRate drives a deliberately small bit array to a fill
+// where omissions are plentiful and checks the reported estimate brackets
+// the measured rate: OmissionProb is the end-of-run risk, so it must upper-
+// bound the measured (run-averaged) rate without being wildly above it.
+func TestBitstateOmissionRate(t *testing.T) {
+	const n = 20000
+	b := newBitstateBits(1<<16, 3)
+	for i := 0; i < n; i++ {
+		b.TryInsert(fpOf(i))
+	}
+	omitted := n - b.Len()
+	measured := float64(omitted) / n
+	est := b.OmissionProb()
+	t.Logf("omitted %d/%d (rate %.4f), estimate %.4f, bits set %d/%d",
+		omitted, n, measured, est, b.ones.Load(), b.nbits)
+	if omitted == 0 {
+		t.Fatal("no omissions at 3×20000 hashes into 65536 bits; harness broken")
+	}
+	if measured > est {
+		t.Errorf("measured rate %.4f above the end-of-run estimate %.4f", measured, est)
+	}
+	if measured < est/8 {
+		t.Errorf("measured rate %.4f implausibly far below estimate %.4f", measured, est)
+	}
+	st := b.Stats()
+	if st.OmissionProb != est || st.BitsSet != b.ones.Load() || st.Exact {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+// concurrentWins races workers over a shared key population and returns
+// the total number of TryInsert wins (the -race test for the concurrent
+// variants: exactly one winner per fingerprint for exact backends).
+func concurrentWins(s Store, workers, keys int) int {
+	wins := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				if s.TryInsert(fpOf((i*(w+1) + w) % keys)) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range wins {
+		total += n
+	}
+	return total
+}
+
+// TestConcurrentExactBackends: under racing insertion of the same
+// population, the exact concurrent backends admit each fingerprint exactly
+// once.
+func TestConcurrentExactBackends(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 20000
+	)
+	for name, s := range map[string]Store{
+		"striped-flat": NewConcurrent(Config{Kind: Flat, ShardBits: 4}),
+		"sharded-map":  NewConcurrent(Config{Kind: Map, ShardBits: 4}),
+	} {
+		if total := concurrentWins(s, workers, keys); total != keys {
+			t.Errorf("%s: %d wins, want %d (each fingerprint claimed exactly once)", name, total, keys)
+		}
+		if s.Len() != keys {
+			t.Errorf("%s: Len = %d, want %d", name, s.Len(), keys)
+		}
+	}
+}
+
+// TestConcurrentBitstate: the lossy backend under the same race. Duplicate
+// admission of a racing fingerprint is documented and tolerated, omission
+// is possible in principle; both deviations must stay marginal at this
+// fill (~0.07% of the budget).
+func TestConcurrentBitstate(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 20000
+	)
+	s := NewConcurrent(Config{Kind: Bitstate, BitstateMB: 1})
+	total := concurrentWins(s, workers, keys)
+	if total < keys*99/100 || total > keys*101/100 {
+		t.Errorf("bitstate wins = %d, want ≈%d", total, keys)
+	}
+	if s.Len() != total {
+		t.Errorf("Len = %d, wins = %d", s.Len(), total)
+	}
+}
+
+// BenchmarkTryInsert isolates the insert hot path per backend (sequential
+// flavours; a fresh store per iteration, 64k distinct fingerprints).
+func BenchmarkTryInsert(b *testing.B) {
+	const n = 1 << 16
+	fps := make([]statespace.Fingerprint, n)
+	for i := range fps {
+		fps[i] = fpOf(i)
+	}
+	for _, kind := range []Kind{Flat, Map, Bitstate} {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := New(Config{Kind: kind, BitstateMB: 1})
+				for _, fp := range fps {
+					s.TryInsert(fp)
+				}
+			}
+			b.ReportMetric(float64(n), "inserts/op")
+		})
+	}
+}

@@ -34,6 +34,13 @@ var builders = map[string]entry{
 	"msi-complete": {build: func(p Params) ts.System {
 		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Complete})
 	}},
+	// msi-complete-4 is the large-configuration stress entry: the complete
+	// protocol pinned at 4 caches (ignoring Params.Caches), the workload
+	// the pluggable visited-set backends are benchmarked on. Without
+	// symmetry reduction it is the biggest state space in the zoo.
+	"msi-complete-4": {build: func(Params) ts.System {
+		return msi.New(msi.Config{Caches: 4, Variant: msi.Complete})
+	}},
 	"msi-small": {sketch: true, build: func(p Params) ts.System {
 		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Small})
 	}},

@@ -74,3 +74,23 @@ func TestSketchMetadata(t *testing.T) {
 type wildcardChooser struct{}
 
 func (wildcardChooser) Choose(string, []string) (int, error) { return 0, ts.ErrWildcard }
+
+// TestStressEntryPinsFourCaches checks the msi-complete-4 stress entry is
+// the 4-cache protocol regardless of Params (it exists to give benchmarks
+// and the bitstate budget test a fixed large configuration).
+func TestStressEntryPinsFourCaches(t *testing.T) {
+	stress, err := zoo.Get("msi-complete-4", zoo.Params{Caches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := zoo.Get("msi-complete", zoo.Params{Caches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, w := stress.Initial()[0].Key(), want.Initial()[0].Key(); got != w {
+		t.Errorf("stress initial state = %q, want the 4-cache %q", got, w)
+	}
+	if zoo.IsSketch("msi-complete-4") {
+		t.Error("stress entry must not be a sketch")
+	}
+}
