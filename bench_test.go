@@ -366,14 +366,18 @@ func BenchmarkVisitedKeyFingerprint(b *testing.B) {
 	}
 }
 
-// --- Visited-set backend ablation (experiment E12) ---
+// --- Visited-set backend ablation (experiments E12, E13) ---
 //
 // The pluggable storage layer (internal/visited) on the zoo's stress
 // entry: the complete 4-cache MSI protocol, unreduced (105,752 states) so
 // the visited set rather than canonicalization dominates. visitedB/state
-// is each backend's measured footprint per state; bitstate runs against a
-// fixed 16 MiB budget and reports its omission-probability estimate. The
-// CI workflow uploads all BenchmarkVisited* rows in the benchstat
+// is each backend's measured in-RAM footprint per state; bitstate runs
+// against a fixed 16 MiB budget and reports its omission-probability
+// estimate; spill runs against a deliberately tiny 256 KiB in-RAM tier —
+// well below the ~846 KiB of fingerprints — so most of the set lives in
+// sorted run files (spilledB/state) and the rows price the exactness-
+// under-bounded-RAM trade against bitstate's lossy fixed budget (E13).
+// The CI workflow uploads all BenchmarkVisited* rows in the benchstat
 // artifact.
 
 // visitedBench explores the stress entry once per iteration on the given
@@ -387,7 +391,13 @@ func visitedBench(b *testing.B, kind visited.Kind, workers int) {
 	b.ReportAllocs()
 	var last *mc.Result
 	for i := 0; i < b.N; i++ {
-		res, err := mc.Check(sys, mc.Options{Workers: workers, Visited: kind, BitstateMB: 16})
+		res, err := mc.Check(sys, mc.Options{
+			Workers:    workers,
+			Visited:    kind,
+			BitstateMB: 16,
+			SpillMem:   256 << 10,
+			SpillDir:   b.TempDir(),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -401,17 +411,22 @@ func visitedBench(b *testing.B, kind visited.Kind, workers int) {
 	if !last.Exact {
 		b.ReportMetric(last.Space.OmissionProb, "p(omit)")
 	}
+	if last.Space.SpilledBytes > 0 {
+		b.ReportMetric(float64(last.Space.SpilledBytes)/float64(last.Space.States), "spilledB/state")
+	}
 }
 
 func BenchmarkVisitedMap(b *testing.B)      { visitedBench(b, visited.Map, 1) }
 func BenchmarkVisitedFlat(b *testing.B)     { visitedBench(b, visited.Flat, 1) }
 func BenchmarkVisitedBitstate(b *testing.B) { visitedBench(b, visited.Bitstate, 1) }
+func BenchmarkVisitedSpill(b *testing.B)    { visitedBench(b, visited.Spill, 1) }
 
 func BenchmarkVisitedMapParallel(b *testing.B)  { visitedBench(b, visited.Map, parallelWorkers()) }
 func BenchmarkVisitedFlatParallel(b *testing.B) { visitedBench(b, visited.Flat, parallelWorkers()) }
 func BenchmarkVisitedBitstateParallel(b *testing.B) {
 	visitedBench(b, visited.Bitstate, parallelWorkers())
 }
+func BenchmarkVisitedSpillParallel(b *testing.B) { visitedBench(b, visited.Spill, parallelWorkers()) }
 
 // BenchmarkSynthPeterson covers the second domain end to end.
 func BenchmarkSynthPeterson(b *testing.B) {

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	verc3-fig2 [-visited flat|map] [-bitstate-mb N] [-stats]
+//	verc3-fig2 [-visited flat|map|spill] [-bitstate-mb N] [-spill-mem-mb N]
+//	           [-spill-dir DIR] [-stats]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"verc3/internal/cliutil"
 	"verc3/internal/core"
 	"verc3/internal/mc"
 	"verc3/internal/toy"
@@ -21,9 +23,19 @@ import (
 
 func main() {
 	stats := flag.Bool("stats", false, "print the aggregated exploration memory profile of both runs")
-	visitedF := flag.String("visited", "flat", "visited-set backend for dispatches: flat or map (bitstate is lossy and refused for synthesis)")
+	visitedF := flag.String("visited", "flat", "visited-set backend for dispatches: flat, map, or spill — all exact (bitstate is lossy and refused for synthesis)")
 	bitstateM := flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
+	spillMB := flag.Int("spill-mem-mb", 0, "spill backend's per-dispatch in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
+	spillDir := flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
 	flag.Parse()
+
+	if err := cliutil.FirstNegative(
+		cliutil.IntFlag{Name: "-bitstate-mb", Value: int64(*bitstateM)},
+		cliutil.IntFlag{Name: "-spill-mem-mb", Value: int64(*spillMB)},
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
+		os.Exit(2)
+	}
 
 	backend, err := visited.ParseKind(*visitedF)
 	if err != nil {
@@ -40,9 +52,16 @@ func main() {
 	run := 0
 	lastPatterns := 0
 	var events []core.Event
+	mcOpt := mc.Options{
+		MemStats:   *stats,
+		Visited:    backend,
+		BitstateMB: *bitstateM,
+		SpillMem:   int64(*spillMB) << 20,
+		SpillDir:   *spillDir,
+	}
 	res, err := core.Synthesize(g, core.Config{
 		Mode: core.ModePrune,
-		MC:   mc.Options{MemStats: *stats, Visited: backend, BitstateMB: *bitstateM},
+		MC:   mcOpt,
 		OnEvaluate: func(ev core.Event) {
 			run++
 			mark := ""
@@ -59,7 +78,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	naive, err := core.Synthesize(g, core.Config{Mode: core.ModeNaive, MC: mc.Options{MemStats: *stats, Visited: backend, BitstateMB: *bitstateM}})
+	naive, err := core.Synthesize(g, core.Config{Mode: core.ModeNaive, MC: mcOpt})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
 		os.Exit(2)

@@ -6,7 +6,8 @@
 //
 //	verc3-synth -system msi-small [-caches 2] [-mode prune|naive]
 //	            [-workers 4] [-mc-workers 1] [-style full|trace] [-max-eval N]
-//	            [-visited flat|map] [-stats] [-v]
+//	            [-visited flat|map|spill] [-spill-mem-mb N] [-spill-dir DIR]
+//	            [-stats] [-v]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"verc3/internal/cliutil"
 	"verc3/internal/core"
 	"verc3/internal/mc"
 	"verc3/internal/visited"
@@ -33,11 +35,25 @@ func main() {
 		symmetry  = flag.Bool("symmetry", true, "enable symmetry reduction in the model checker")
 		maxEval   = flag.Int64("max-eval", 0, "stop after N model-checker dispatches (0 = run to completion)")
 		stats     = flag.Bool("stats", false, "print the aggregated exploration memory profile")
-		visitedF  = flag.String("visited", "flat", "visited-set backend for dispatches: flat or map (bitstate is lossy and refused for synthesis)")
+		visitedF  = flag.String("visited", "flat", "visited-set backend for dispatches: flat, map, or spill — all exact (bitstate is lossy and refused for synthesis)")
 		bitstateM = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
+		spillMB   = flag.Int("spill-mem-mb", 0, "spill backend's per-dispatch in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
+		spillDir  = flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
 		verbose   = flag.Bool("v", false, "log rounds and solutions as they are found")
 	)
 	flag.Parse()
+
+	if err := cliutil.FirstNegative(
+		cliutil.IntFlag{Name: "-caches", Value: int64(*caches)},
+		cliutil.IntFlag{Name: "-workers", Value: int64(*workers)},
+		cliutil.IntFlag{Name: "-mc-workers", Value: int64(*mcWorkers)},
+		cliutil.IntFlag{Name: "-max-eval", Value: *maxEval},
+		cliutil.IntFlag{Name: "-bitstate-mb", Value: int64(*bitstateM)},
+		cliutil.IntFlag{Name: "-spill-mem-mb", Value: int64(*spillMB)},
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
+		os.Exit(2)
+	}
 
 	backend, err := visited.ParseKind(*visitedF)
 	if err != nil {
@@ -52,7 +68,14 @@ func main() {
 	cfg := core.Config{
 		Workers:        *workers,
 		MCWorkers:      *mcWorkers,
-		MC:             mc.Options{Symmetry: *symmetry, MemStats: *stats, Visited: backend, BitstateMB: *bitstateM},
+		MC: mc.Options{
+			Symmetry:   *symmetry,
+			MemStats:   *stats,
+			Visited:    backend,
+			BitstateMB: *bitstateM,
+			SpillMem:   int64(*spillMB) << 20,
+			SpillDir:   *spillDir,
+		},
 		MaxEvaluations: *maxEval,
 	}
 	switch *mode {

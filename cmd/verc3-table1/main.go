@@ -12,7 +12,8 @@
 // Usage:
 //
 //	verc3-table1 [-caches 2] [-workers 4] [-mc-workers 1] [-naive-large-max 20000]
-//	             [-full] [-skip-naive] [-visited flat|map] [-stats]
+//	             [-full] [-skip-naive] [-visited flat|map|spill]
+//	             [-spill-mem-mb N] [-spill-dir DIR] [-stats]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"verc3/internal/cliutil"
 	"verc3/internal/core"
 	"verc3/internal/mc"
 	"verc3/internal/msi"
@@ -48,10 +50,24 @@ func main() {
 		full       = flag.Bool("full", false, "run every configuration to completion (MSI-large naive: days)")
 		skipNaive  = flag.Bool("skip-naive", false, "skip both naive rows entirely")
 		stats      = flag.Bool("stats", false, "print each row's aggregated exploration memory profile")
-		visitedF   = flag.String("visited", "flat", "visited-set backend for dispatches: flat or map (bitstate is lossy and refused for synthesis)")
+		visitedF   = flag.String("visited", "flat", "visited-set backend for dispatches: flat, map, or spill — all exact (bitstate is lossy and refused for synthesis)")
 		bitstateM  = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
+		spillMB    = flag.Int("spill-mem-mb", 0, "spill backend's per-dispatch in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
+		spillDir   = flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
 	)
 	flag.Parse()
+
+	if err := cliutil.FirstNegative(
+		cliutil.IntFlag{Name: "-caches", Value: int64(*caches)},
+		cliutil.IntFlag{Name: "-workers", Value: int64(*workers)},
+		cliutil.IntFlag{Name: "-mc-workers", Value: int64(*mcWorkers)},
+		cliutil.IntFlag{Name: "-naive-large-max", Value: *naiveLgMax},
+		cliutil.IntFlag{Name: "-bitstate-mb", Value: int64(*bitstateM)},
+		cliutil.IntFlag{Name: "-spill-mem-mb", Value: int64(*spillMB)},
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
+		os.Exit(2)
+	}
 
 	backend, err := visited.ParseKind(*visitedF)
 	if err != nil {
@@ -82,7 +98,14 @@ func main() {
 			Mode:           r.mode,
 			Workers:        r.workers,
 			MCWorkers:      *mcWorkers,
-			MC:             mc.Options{Symmetry: true, MemStats: *stats, Visited: backend, BitstateMB: *bitstateM},
+			MC: mc.Options{
+				Symmetry:   true,
+				MemStats:   *stats,
+				Visited:    backend,
+				BitstateMB: *bitstateM,
+				SpillMem:   int64(*spillMB) << 20,
+				SpillDir:   *spillDir,
+			},
 			MaxEvaluations: r.truncate,
 		})
 		if err != nil {

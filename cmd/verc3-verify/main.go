@@ -7,7 +7,8 @@
 //
 //	verc3-verify -system msi-complete [-caches 3] [-symmetry=false] [-states]
 //	             [-dfs] [-workers N] [-shard-bits B] [-no-trace] [-stats]
-//	             [-visited flat|map|bitstate] [-bitstate-mb N]
+//	             [-visited flat|map|bitstate|spill] [-bitstate-mb N]
+//	             [-spill-mem-mb N] [-spill-dir DIR]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"verc3/internal/cliutil"
 	"verc3/internal/mc"
 	"verc3/internal/trace"
 	"verc3/internal/visited"
@@ -36,10 +38,24 @@ func main() {
 		shardBits = flag.Int("shard-bits", 0, "log2 shards of the parallel visited set (0 = default)")
 		noTrace   = flag.Bool("no-trace", false, "skip trace recording (fingerprint-only memory; failures carry no counterexample)")
 		stats     = flag.Bool("stats", false, "print the exploration memory profile (peak frontier, trace store, allocations)")
-		visitedF  = flag.String("visited", "flat", "visited-set backend: flat (open addressing), map, or bitstate (lossy, fixed memory)")
+		visitedF  = flag.String("visited", "flat", "visited-set backend: flat (open addressing), map, bitstate (lossy, fixed memory), or spill (exact, RAM-bounded, overflows to disk)")
 		bitstateM = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (0 = default 64; -visited bitstate only)")
+		spillMB   = flag.Int("spill-mem-mb", 0, "spill backend's in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
+		spillDir  = flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
 	)
 	flag.Parse()
+
+	if err := cliutil.FirstNegative(
+		cliutil.IntFlag{Name: "-caches", Value: int64(*caches)},
+		cliutil.IntFlag{Name: "-max-states", Value: int64(*maxSt)},
+		cliutil.IntFlag{Name: "-workers", Value: int64(*workers)},
+		cliutil.IntFlag{Name: "-shard-bits", Value: int64(*shardBits)},
+		cliutil.IntFlag{Name: "-bitstate-mb", Value: int64(*bitstateM)},
+		cliutil.IntFlag{Name: "-spill-mem-mb", Value: int64(*spillMB)},
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
+		os.Exit(2)
+	}
 
 	backend, err := visited.ParseKind(*visitedF)
 	if err != nil {
@@ -71,6 +87,8 @@ func main() {
 		MemStats:    *stats,
 		Visited:     backend,
 		BitstateMB:  *bitstateM,
+		SpillMem:    int64(*spillMB) << 20,
+		SpillDir:    *spillDir,
 	}
 	if *dfs {
 		opt.Order = mc.DFS

@@ -16,9 +16,12 @@
 //     parallel work distributor, the optional parent-linked trace store,
 //     and the Stats memory profile.
 //   - internal/visited — pluggable visited-set storage behind one Store
-//     interface: Go maps (lock-striped shards), a flat open-addressing
-//     fingerprint table (the default), and a SPIN-style bitstate tier with
-//     a fixed memory budget and a reported omission-probability estimate.
+//     interface: Go maps (lock-striped shards), a Robin Hood
+//     open-addressing fingerprint table (the default, 15/16 load cap), a
+//     disk-spilling two-level store (exact with bounded RAM: the flat
+//     tier overflows to sorted runs merged at BFS level boundaries), and
+//     a SPIN-style bitstate tier with a fixed memory budget and a
+//     reported omission-probability estimate.
 //   - internal/symmetry — scalarset canonicalization (goroutine-safe), used
 //     for symmetry reduction of states implementing ts.Permutable.
 //   - internal/mc — the embedded explicit-state model checker: sequential
@@ -34,9 +37,11 @@
 //     system registry (with sketch metadata) behind the command-line tools.
 //
 // Command-line tools are under cmd/ (verc3-verify, verc3-synth,
-// verc3-table1, verc3-fig2; all support -stats and select the visited-set
-// backend with -visited flat|map|bitstate plus -bitstate-mb) and runnable
-// demos under examples/.
+// verc3-table1, verc3-fig2; all support -stats, select the visited-set
+// backend with -visited flat|map|bitstate|spill, and size it with
+// -bitstate-mb / -spill-mem-mb / -spill-dir; negative sizing or
+// parallelism values are rejected up front rather than silently clamped)
+// and runnable demos under examples/.
 //
 // # Trace-optional exploration
 //
@@ -55,12 +60,17 @@
 // # Visited-set backends
 //
 // Where the fingerprints live is pluggable (mc.Options.Visited): the exact
-// backends — flat open addressing (default) and Go maps — are
-// interchangeable bit-for-bit and differ only in measured bytes per state,
-// while the bitstate tier caps memory at a fixed budget and reports
-// Result.Exact=false with a quantified omission probability. Synthesis
-// dispatches require an exact backend and the final re-verification always
-// runs on one.
+// backends — flat open addressing (default), Go maps, and the
+// disk-spilling two-level store, which keeps RAM near a fixed tier budget
+// while the bulk of the set lives in sorted run files — are
+// interchangeable bit-for-bit and differ only in measured bytes per state
+// and where those bytes live, while the bitstate tier caps memory at a
+// fixed budget and reports Result.Exact=false with a quantified omission
+// probability. Expansion ownership is exact everywhere: even under
+// bitstate, racing parallel inserts of one fingerprint have exactly one
+// winner (a single-CAS completion rule), so reported state and transition
+// counts are exact for the space explored. Synthesis dispatches require
+// an exact backend and the final re-verification always runs on one.
 //
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation plus this repo's ablations (parallel

@@ -1,0 +1,28 @@
+// Package cliutil holds small helpers shared by the cmd/ binaries.
+package cliutil
+
+import "fmt"
+
+// IntFlag names one integer flag value for validation. Value is int64 so
+// one type covers flag.Int and flag.Int64 flags alike (callers wrap int
+// values with a plain conversion).
+type IntFlag struct {
+	Name  string
+	Value int64
+}
+
+// FirstNegative returns a friendly error for the first flag holding a
+// negative value, or nil if none does. The cmd/ tools run it right after
+// flag.Parse: sizing and parallelism flags use 0 as "pick the default",
+// and negative values used to be silently clamped to the same defaults
+// deep in the libraries — accepting `-workers -4` as if nothing were
+// wrong. Rejecting them up front keeps typos from masquerading as
+// configuration.
+func FirstNegative(flags ...IntFlag) error {
+	for _, f := range flags {
+		if f.Value < 0 {
+			return fmt.Errorf("flag %s: negative value %d (use 0 to select the default)", f.Name, f.Value)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFirstNegative covers the validation the cmd/ binaries share: zero
+// and positive values pass (0 means "default"), the first negative flag —
+// and only the first — is reported by name with its offending value.
+func TestFirstNegative(t *testing.T) {
+	if err := FirstNegative(); err != nil {
+		t.Errorf("no flags: %v", err)
+	}
+	if err := FirstNegative(
+		IntFlag{"-workers", 0},
+		IntFlag{"-shard-bits", 8},
+		IntFlag{"-bitstate-mb", 64},
+	); err != nil {
+		t.Errorf("all valid: %v", err)
+	}
+	err := FirstNegative(
+		IntFlag{"-workers", 4},
+		IntFlag{"-shard-bits", -1},
+		IntFlag{"-bitstate-mb", -3},
+	)
+	if err == nil {
+		t.Fatal("negative -shard-bits accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "-shard-bits") || !strings.Contains(msg, "-1") {
+		t.Errorf("error does not name the first offender: %q", msg)
+	}
+	if strings.Contains(msg, "-bitstate-mb") {
+		t.Errorf("error names a later flag: %q", msg)
+	}
+	if !strings.Contains(msg, "default") {
+		t.Errorf("error does not point at the 0-means-default convention: %q", msg)
+	}
+}

@@ -98,11 +98,12 @@ type Config struct {
 	// and on for the final per-solution re-verification).
 	//
 	// MC.Visited must be an exact backend: synthesis dispatches run on the
-	// flat table by default (the zero value), and the lossy bitstate
-	// backend is rejected — an omitted state flips verdicts in both
-	// directions (a missed violation is caught by re-verification, but a
-	// spuriously unreached goal would insert an unsound pruning pattern
-	// that silently prunes correct candidates).
+	// flat table by default (the zero value); the disk-spilling tier is
+	// equally acceptable (exact, just RAM-bounded), while the lossy
+	// bitstate backend is rejected — an omitted state flips verdicts in
+	// both directions (a missed violation is caught by re-verification,
+	// but a spuriously unreached goal would insert an unsound pruning
+	// pattern that silently prunes correct candidates).
 	MC mc.Options
 	// MaxEvaluations, when positive, stops synthesis after that many
 	// model-checker dispatches (Stats.Truncated is set). Used to run scaled
@@ -263,7 +264,7 @@ func Synthesize(sys ts.System, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: Config.MC.Workers is managed by the engine; set Config.MCWorkers")
 	}
 	if !cfg.MC.Visited.Exact() {
-		return nil, fmt.Errorf("core: visited backend %q is lossy; synthesis dispatches need an exact backend (flat or map)", cfg.MC.Visited)
+		return nil, fmt.Errorf("core: visited backend %q is lossy; synthesis dispatches need an exact backend (flat, map, or spill)", cfg.MC.Visited)
 	}
 	if cfg.MCWorkers <= 0 {
 		cfg.MCWorkers = 1

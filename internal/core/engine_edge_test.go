@@ -206,7 +206,12 @@ func TestSolutionAssignCopied(t *testing.T) {
 // TestBitstateRejectedForSynthesis pins the exactness requirement of the
 // synthesis loop: the lossy bitstate visited backend is refused outright,
 // because an omitted state can surface as a spuriously unreached goal and
-// insert an unsound pruning pattern. Exact backends both work and agree.
+// insert an unsound pruning pattern. Exact backends — flat, map, and the
+// disk-spilling tier, which bounds RAM without giving up exactness — all
+// work and agree. (Figure2 dispatches explore ≤5 states, below even the
+// floor budget's flush threshold, so this covers spill's acceptance and
+// RAM-tier path; the disk-resident path is exercised by the
+// internal/visited suite and TestSpillStressBoundedRAM.)
 func TestBitstateRejectedForSynthesis(t *testing.T) {
 	_, err := core.Synthesize(toy.Figure2(), core.Config{
 		Mode: core.ModePrune,
@@ -217,10 +222,10 @@ func TestBitstateRejectedForSynthesis(t *testing.T) {
 	}
 
 	var counts []int64
-	for _, kind := range []visited.Kind{visited.Flat, visited.Map} {
+	for _, kind := range []visited.Kind{visited.Flat, visited.Map, visited.Spill} {
 		res, err := core.Synthesize(toy.Figure2(), core.Config{
 			Mode: core.ModePrune,
-			MC:   mc.Options{Visited: kind},
+			MC:   mc.Options{Visited: kind, SpillMem: 1, SpillDir: t.TempDir()},
 		})
 		if err != nil {
 			t.Fatalf("visited=%v: %v", kind, err)
@@ -230,7 +235,9 @@ func TestBitstateRejectedForSynthesis(t *testing.T) {
 		}
 		counts = append(counts, res.Stats.Evaluated)
 	}
-	if counts[0] != counts[1] {
-		t.Errorf("evaluated: flat %d vs map %d — exact backends must search identically", counts[0], counts[1])
+	for _, n := range counts[1:] {
+		if n != counts[0] {
+			t.Errorf("evaluated: %d vs flat's %d — exact backends must search identically", n, counts[0])
+		}
 	}
 }

@@ -80,11 +80,14 @@ func TestZooEquivalenceTraceOnOff(t *testing.T) {
 }
 
 // TestZooEquivalenceVisitedBackends is the invariance check for the
-// pluggable visited-set storage: for every registered system, both exact
-// backends (flat open addressing and the original Go maps) under both
-// drivers must report the same verdict and exploration statistics — the
-// storage layer decides memory layout, never search semantics. Every run
-// must also self-report as exact with a positive measured footprint.
+// pluggable visited-set storage: for every registered system, all three
+// exact backends (flat open addressing, the original Go maps, and the
+// disk-spilling two-level store) under both drivers must report the same
+// verdict and exploration statistics — the storage layer decides memory
+// layout, never search semantics. Every run must also self-report as
+// exact with a positive measured footprint. The spill runs get a RAM
+// budget at the floor, so even the zoo's small spaces cross the disk tier
+// and the per-level merges.
 func TestZooEquivalenceVisitedBackends(t *testing.T) {
 	for _, name := range zoo.Names() {
 		t.Run(name, func(t *testing.T) {
@@ -93,7 +96,10 @@ func TestZooEquivalenceVisitedBackends(t *testing.T) {
 				backend visited.Kind
 			}
 			var base *mc.Result
-			for _, cb := range []combo{{1, visited.Flat}, {1, visited.Map}, {8, visited.Flat}, {8, visited.Map}} {
+			for _, cb := range []combo{
+				{1, visited.Flat}, {1, visited.Map}, {1, visited.Spill},
+				{8, visited.Flat}, {8, visited.Map}, {8, visited.Spill},
+			} {
 				sys, err := zoo.Get(name, zoo.Params{Caches: 2})
 				if err != nil {
 					t.Fatal(err)
@@ -103,6 +109,8 @@ func TestZooEquivalenceVisitedBackends(t *testing.T) {
 					Env:      ts.NewEnv(wildcardChooser{}), // complete models never call Choose
 					Workers:  cb.workers,
 					Visited:  cb.backend,
+					SpillMem: 1, // floor: force flushes on even tiny spaces
+					SpillDir: t.TempDir(),
 				})
 				if err != nil {
 					t.Fatalf("workers=%d visited=%v: %v", cb.workers, cb.backend, err)
@@ -178,6 +186,21 @@ func TestFlatVisitedBytesReduction(t *testing.T) {
 	if perState(flatSeq) >= perState(mapSeq) {
 		t.Errorf("sequential flat = %.1f B/state, want below map's %.1f", perState(flatSeq), perState(mapSeq))
 	}
+
+	// The Robin Hood rework (15/16 load cap + one-cache-line stripes) must
+	// measure at least 8% below the linear-probing Flat it replaced. That
+	// baseline — 22.6 B/state on this exact msi-complete configuration
+	// under the parallel driver, from the PR 3 measurement the experiment
+	// log records — is pinned here as a constant: the layout is
+	// deterministic (same fingerprints, same stripe split), so regressing
+	// the load cap or re-inflating the stripe padding trips this.
+	const pr3FlatParallel = 22.6
+	t.Logf("robin hood vs PR3 linear probing: %.1f vs %.1f B/state (%.0f%% reduction)",
+		perState(flatPar), pr3FlatParallel, 100*(1-perState(flatPar)/pr3FlatParallel))
+	if perState(flatPar) > 0.92*pr3FlatParallel {
+		t.Errorf("parallel flat = %.1f B/state, want ≥8%% below the pre-Robin-Hood %.1f",
+			perState(flatPar), pr3FlatParallel)
+	}
 }
 
 // TestBitstateStressWithinBudget runs the zoo's large-configuration stress
@@ -201,9 +224,13 @@ func TestBitstateStressWithinBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Sequential on purpose: under the parallel driver racing inserts of
-	// one fingerprint can both be admitted (documented bitstate behaviour),
-	// which would make the count comparison below nondeterministic.
+	// Sequential on purpose: bitstate admission is order-dependent (an
+	// omission depends on which fingerprints set their bits first), and
+	// only the sequential driver's insertion order is deterministic, which
+	// keeps the count comparison below reproducible. (Duplicate admission
+	// under races is gone — see the single-CAS ownership rule — so the
+	// parallel driver would merely be order-nondeterministic, not
+	// double-counting.)
 	const budgetMB = 4
 	bs, err := mc.Check(build(), mc.Options{Visited: visited.Bitstate, BitstateMB: budgetMB})
 	if err != nil {
@@ -232,6 +259,69 @@ func TestBitstateStressWithinBudget(t *testing.T) {
 	}
 	if bs.Verdict != mc.Success {
 		t.Errorf("bitstate verdict = %v", bs.Verdict)
+	}
+}
+
+// TestSpillStressBoundedRAM is the acceptance test for the disk-spilling
+// tier: the zoo's large-configuration stress entry (msi-complete-4,
+// unreduced: 105,752 states, ~846KiB of fingerprints) explored with an
+// in-RAM tier budget of 256KiB — far below the fingerprint volume — must
+// stay exact and report verdict, state count and transition count
+// identical to the Flat backend, under both drivers. This is the
+// memory-bounded-but-exact regime bitstate cannot serve: RAM stays near
+// the budget while the bulk of the visited set lives in sorted run files.
+func TestSpillStressBoundedRAM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~100k-state exploration with disk I/O; run without -short")
+	}
+	build := func() ts.System {
+		sys, err := zoo.Get("msi-complete-4", zoo.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	flat, err := mc.Check(build(), mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Verdict != mc.Success {
+		t.Fatalf("flat verdict = %v", flat.Verdict)
+	}
+	const budget = 256 << 10
+	for _, workers := range []int{1, 8} {
+		sp, err := mc.Check(build(), mc.Options{
+			Workers:  workers,
+			Visited:  visited.Spill,
+			SpillMem: budget,
+			SpillDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !sp.Exact || sp.Space.Inexact {
+			t.Errorf("workers=%d: spill run reported inexact", workers)
+		}
+		if sp.Verdict != flat.Verdict ||
+			sp.Stats.VisitedStates != flat.Stats.VisitedStates ||
+			sp.Stats.FiredTransitions != flat.Stats.FiredTransitions {
+			t.Errorf("workers=%d: spill %v/%d states/%d transitions, flat %v/%d/%d",
+				workers, sp.Verdict, sp.Stats.VisitedStates, sp.Stats.FiredTransitions,
+				flat.Verdict, flat.Stats.VisitedStates, flat.Stats.FiredTransitions)
+		}
+		if sp.Space.SpilledBytes == 0 || sp.Space.SpillRuns == 0 {
+			t.Errorf("workers=%d: nothing spilled (SpilledBytes=%d runs=%d) — budget not enforced",
+				workers, sp.Space.SpilledBytes, sp.Space.SpillRuns)
+		}
+		// The in-RAM footprint (tier tables + stripe structs + fence
+		// index) must stay near the budget; 2× covers the fixed floors.
+		if sp.Space.VisitedBytes > 2*budget {
+			t.Errorf("workers=%d: in-RAM visited bytes = %d, want near the %d budget",
+				workers, sp.Space.VisitedBytes, budget)
+		}
+		t.Logf("workers=%d: %d states, RAM %d B, spilled %d B in %d run(s)",
+			workers, sp.Stats.VisitedStates, sp.Space.VisitedBytes,
+			sp.Space.SpilledBytes, sp.Space.SpillRuns)
 	}
 }
 

@@ -16,12 +16,17 @@
 // report identical reachable-state counts under both.
 //
 // Where the fingerprints live is pluggable (Options.Visited, package
-// internal/visited): a flat open-addressing table (the default), Go maps
-// (the original backend), or a SPIN-style bitstate array with a fixed
-// memory budget (Options.BitstateMB). The exact backends are
-// interchangeable bit-for-bit; bitstate can omit states, so Result.Exact
-// reports false and Result.Space carries its omission-probability
-// estimate.
+// internal/visited): a Robin Hood open-addressing table (the default), Go
+// maps (the original backend), a disk-spilling two-level store that keeps
+// RAM near Options.SpillMem while sorted fingerprint runs hold the bulk
+// on disk (merged at every BFS level boundary by both drivers), or a
+// SPIN-style bitstate array with a fixed memory budget
+// (Options.BitstateMB). The exact backends are interchangeable
+// bit-for-bit; bitstate can omit states, so Result.Exact reports false
+// and Result.Space carries its omission-probability estimate. TryInsert
+// doubles as the parallel driver's expansion-ownership claim and every
+// backend admits exactly one of any set of racing inserts, so state and
+// transition counts are exact for the explored space under all backends.
 //
 // # Trace-optional exploration
 //
@@ -59,6 +64,7 @@ package mc
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"unsafe"
 
@@ -252,12 +258,20 @@ type Options struct {
 	// Visited selects the visited-set storage backend (internal/visited).
 	// The zero value is visited.Flat, the open-addressing table; Map is
 	// the original Go-map backend (exact, interchangeable with Flat);
-	// Bitstate trades exactness for a fixed memory budget — see
-	// Result.Exact.
+	// Spill overflows the flat tier to sorted disk runs, keeping RAM
+	// bounded by SpillMem while staying exact; Bitstate trades exactness
+	// for a fixed memory budget — see Result.Exact.
 	Visited visited.Kind
 	// BitstateMB is the bitstate backend's bit-array budget in MiB
 	// (0 = visited.DefaultBitstateMB). Ignored by exact backends.
 	BitstateMB int
+	// SpillMem is the spill backend's in-RAM tier budget in bytes
+	// (0 = visited.DefaultSpillMem). Ignored by other backends.
+	SpillMem int64
+	// SpillDir is the parent directory for the spill backend's run files
+	// ("" = the OS temp dir); a per-run subdirectory is created lazily and
+	// removed when the run finishes. Ignored by other backends.
+	SpillDir string
 	// MemStats additionally collects allocation counters
 	// (runtime.ReadMemStats deltas) into Result.Space. ReadMemStats stops
 	// the world, so leave this off in the synthesis inner loop; the cmd/
@@ -339,19 +353,52 @@ func check(sys ts.System, opt Options) (*Result, error) {
 		c.quies = qr
 	}
 	c.canon = newCanon(sys, opt)
-	if err := c.run(); err != nil {
+	err := c.run()
+	if err == nil {
+		c.res.Space.Transitions = c.res.Stats.FiredTransitions
+		c.res.Space.PeakFrontier = c.frontier.Peak()
+		c.res.Space.TraceNodes = c.traces.Nodes()
+		fillSpace(&c.res, c.visited, unsafe.Sizeof(item{}), c.traces.NodeBytes())
+	}
+	if cerr := closeStore(c.visited); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return nil, err
 	}
-	c.res.Space.Transitions = c.res.Stats.FiredTransitions
-	c.res.Space.PeakFrontier = c.frontier.Peak()
-	c.res.Space.TraceNodes = c.traces.Nodes()
-	fillSpace(&c.res, c.visited, unsafe.Sizeof(item{}), c.traces.NodeBytes())
 	return &c.res, nil
 }
 
 // visitedConfig maps checker options onto the storage layer's config.
 func visitedConfig(opt Options) visited.Config {
-	return visited.Config{Kind: opt.Visited, ShardBits: opt.ShardBits, BitstateMB: opt.BitstateMB}
+	return visited.Config{
+		Kind:       opt.Visited,
+		ShardBits:  opt.ShardBits,
+		BitstateMB: opt.BitstateMB,
+		SpillMem:   opt.SpillMem,
+		SpillDir:   opt.SpillDir,
+	}
+}
+
+// endLevel notifies level-aware backends (visited.LevelMarker) of a BFS
+// level boundary; the spill backend merges its run files here. A non-nil
+// error aborts the exploration — the store's answers are no longer
+// trustworthy.
+func endLevel(store visited.Store) error {
+	if lm, ok := store.(visited.LevelMarker); ok {
+		return lm.EndLevel()
+	}
+	return nil
+}
+
+// closeStore releases backends that own external resources (the spill
+// backend's run files). The returned error is the store's first I/O
+// failure, so even drivers that hit no level boundary surface it.
+func closeStore(store visited.Store) error {
+	if c, ok := store.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // fillSpace folds the visited-set backend's self-report into the result's
@@ -363,6 +410,8 @@ func fillSpace(res *Result, store visited.Store, itemBytes, nodeBytes uintptr) {
 	res.Space.Backend = vs.Backend
 	res.Space.Inexact = !vs.Exact
 	res.Space.OmissionProb = vs.OmissionProb
+	res.Space.SpilledBytes = vs.SpilledBytes
+	res.Space.SpillRuns = vs.SpillRuns
 	res.Exact = vs.Exact
 	res.Space.SetRetained(itemBytes, nodeBytes)
 }
@@ -471,12 +520,22 @@ func (c *checker) run() error {
 		}
 	}
 
+	lastDepth := 0
 	for c.frontier.Len() > 0 {
 		var it item
 		if c.opt.Order == DFS {
 			it, _ = c.frontier.PopBack()
 		} else {
 			it, _ = c.frontier.PopFront()
+			// BFS pops in depth order, so a depth increase is a level
+			// boundary; level-aware backends reorganize here (DFS has no
+			// levels and relies on the backend's own housekeeping).
+			if it.depth > lastDepth {
+				lastDepth = it.depth
+				if err := endLevel(c.visited); err != nil {
+					return err
+				}
+			}
 		}
 		if c.opt.MaxStates > 0 && c.visited.Len() > c.opt.MaxStates {
 			c.res.CapHit = true

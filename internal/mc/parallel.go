@@ -27,10 +27,14 @@ type pitem struct {
 
 // pchecker is the level-synchronous parallel BFS driver. Each frontier
 // level is spread over Options.Workers goroutines (statespace.ExpandLevel);
-// successors dedupe through the sharded visited set, whose Add doubles as
-// the expansion-ownership claim, so every state is checked and expanded
-// exactly once. Statistics are atomic; the first property violation wins
-// and stops the search.
+// successors dedupe through the concurrent visited set, whose TryInsert
+// doubles as the expansion-ownership claim. Every backend — bitstate
+// included, via its single-CAS completion rule — admits at most one of any
+// set of racing inserts of a fingerprint, so every admitted state is
+// checked and expanded exactly once and States/Transitions are exact
+// counts of the explored space (under bitstate that space may still be
+// missing omitted states). Statistics are atomic; the first property
+// violation wins and stops the search.
 type pchecker struct {
 	sys   ts.System
 	opt   Options
@@ -74,7 +78,14 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 	if qr, ok := sys.(ts.QuiescentReporter); ok {
 		c.quies = qr
 	}
-	return c.run()
+	res, err := c.run()
+	if cerr := closeStore(c.visited); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 func (c *pchecker) fingerprint(s ts.State) statespace.Fingerprint {
@@ -206,6 +217,11 @@ func (c *pchecker) run() (*Result, error) {
 		}
 		if stop {
 			break
+		}
+		// Level boundary: level-aware backends reorganize (spill merges
+		// its run files) while no worker is inserting.
+		if err := endLevel(c.visited); err != nil {
+			return nil, err
 		}
 		frontier = next
 	}

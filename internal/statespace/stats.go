@@ -42,9 +42,18 @@ type Stats struct {
 	// structural overhead of map storage and the slack of power-of-two
 	// tables. Zero when no backend reported (hand-built Stats).
 	VisitedBytes int64
-	// Backend names the visited-set backend ("flat", "map", "bitstate";
-	// "mixed" after merging runs with different backends).
+	// Backend names the visited-set backend ("flat", "map", "bitstate",
+	// "spill"; "mixed" after merging runs with different backends).
 	Backend string
+	// SpilledBytes is the spill backend's on-disk footprint: the summed
+	// size of its sorted fingerprint run files at the end of the run.
+	// VisitedBytes deliberately excludes it — the split is the backend's
+	// whole point (bounded RAM, disk-resident bulk). Zero for RAM-only
+	// backends; after Merge, the largest single run (like VisitedBytes).
+	SpilledBytes int64
+	// SpillRuns is the spill backend's live run-file count at the end of
+	// the run (1 after a level-boundary merge). Zero for other backends.
+	SpillRuns int
 	// Inexact reports that the visited set was lossy (bitstate): states
 	// may have been omitted, so States/Transitions are lower bounds and a
 	// clean verdict is probabilistic. The zero value (exact) matches every
@@ -99,6 +108,12 @@ func (s *Stats) Merge(o Stats) {
 	if o.VisitedBytes > s.VisitedBytes {
 		s.VisitedBytes = o.VisitedBytes
 	}
+	if o.SpilledBytes > s.SpilledBytes {
+		s.SpilledBytes = o.SpilledBytes
+	}
+	if o.SpillRuns > s.SpillRuns {
+		s.SpillRuns = o.SpillRuns
+	}
 	switch {
 	case s.Backend == "":
 		s.Backend = o.Backend
@@ -119,6 +134,9 @@ func (s Stats) String() string {
 		s.States, s.Transitions, s.PeakFrontier, s.TraceNodes, humanBytes(s.BytesRetained))
 	if s.Backend != "" {
 		out += fmt.Sprintf(" visited=%s:%s", s.Backend, humanBytes(s.VisitedBytes))
+	}
+	if s.SpilledBytes > 0 {
+		out += fmt.Sprintf(" spilled=%s/%d-runs", humanBytes(s.SpilledBytes), s.SpillRuns)
 	}
 	if s.Inexact {
 		out += fmt.Sprintf(" INEXACT p(omit)~%.2g", s.OmissionProb)

@@ -65,4 +65,22 @@ func TestStatsString(t *testing.T) {
 	if got := s.String(); !strings.Contains(got, "INEXACT p(omit)~0.00015") {
 		t.Errorf("String() inexact = %q", got)
 	}
+	// Spill figures appear only when something actually spilled.
+	if strings.Contains(s.String(), "spilled") {
+		t.Errorf("String() shows spill with nothing spilled: %q", s.String())
+	}
+	s.SpilledBytes, s.SpillRuns = 3<<20, 2
+	if got := s.String(); !strings.Contains(got, "spilled=3.0MiB/2-runs") {
+		t.Errorf("String() with spill = %q", got)
+	}
+}
+
+// TestStatsMergeSpill checks the spill figures keep per-dispatch peak
+// semantics across Merge, like VisitedBytes.
+func TestStatsMergeSpill(t *testing.T) {
+	a := Stats{SpilledBytes: 100, SpillRuns: 3}
+	a.Merge(Stats{SpilledBytes: 400, SpillRuns: 1})
+	if a.SpilledBytes != 400 || a.SpillRuns != 3 {
+		t.Fatalf("merged spill = %d bytes / %d runs, want 400 / 3", a.SpilledBytes, a.SpillRuns)
+	}
 }

@@ -23,8 +23,14 @@ const (
 )
 
 // flatTable is the open-addressing core shared by the sequential and the
-// lock-striped Flat variants: a power-of-two slice of raw 8-byte
-// fingerprints, linear probing, growth by doubling past 7/8 load. The zero
+// lock-striped Flat variants (and the Spill backend's in-RAM tier): a
+// power-of-two slice of raw 8-byte fingerprints with Robin Hood probing —
+// an insert displaces any resident whose probe distance is shorter than
+// its own, equalizing displacement across occupants. Bounded displacement
+// variance is what lets the load cap sit at 15/16 (versus the 7/8 a plain
+// linear-probing table needs to keep probe tails short), cutting slot
+// bytes per state by up to half at loads that previously forced a
+// doubling. Growth doubles and rehashes past 15/16 load. The zero
 // fingerprint cannot live in a slot (0 marks "empty") and is tracked in a
 // sideband bool.
 type flatTable struct {
@@ -41,8 +47,20 @@ func home(fp uint64, mask int) int {
 	return int((fp * fibMix) >> 32 & uint64(mask))
 }
 
+// dist returns how far the occupant of slot i sits from its home slot.
+func dist(fp uint64, i, mask int) int {
+	return (i - home(fp, mask)) & mask
+}
+
 // tryInsert probes for fp, inserting it if absent. minSlots bounds the
 // initial allocation (the striped variant starts smaller).
+//
+// The Robin Hood invariant — along any probe sequence, displacement never
+// decreases — doubles as the absence proof: the moment a resident's
+// displacement drops below the probe's own distance, fp cannot occur
+// further down the sequence, so the probe claims that slot and bubbles
+// the shorter-travelled resident onward (equality checks stop there; all
+// residents are distinct by construction).
 func (t *flatTable) tryInsert(fp uint64, minSlots int) bool {
 	if fp == 0 {
 		if t.hasZero {
@@ -53,21 +71,50 @@ func (t *flatTable) tryInsert(fp uint64, minSlots int) bool {
 	}
 	if t.slots == nil {
 		t.slots = make([]uint64, minSlots)
-	} else if 8*(t.used+1) > 7*len(t.slots) {
+	} else if 16*(t.used+1) > 15*len(t.slots) {
 		t.grow()
 	}
 	mask := len(t.slots) - 1
 	i := home(fp, mask)
+	cur, curDist := fp, 0
+	searching := true // still probing for fp itself (no displacement yet)
 	for {
-		switch s := t.slots[i]; s {
-		case 0:
-			t.slots[i] = fp
+		s := t.slots[i]
+		if s == 0 {
+			t.slots[i] = cur
 			t.used++
 			return true
-		case fp:
+		}
+		if searching && s == fp {
 			return false
 		}
+		if d := dist(s, i, mask); d < curDist {
+			if searching {
+				searching = false
+			}
+			t.slots[i], cur, curDist = cur, s, d
+		}
 		i = (i + 1) & mask
+		curDist++
+	}
+}
+
+// reinsert places a fingerprint known to be absent (growth rehash).
+func (t *flatTable) reinsert(fp uint64) {
+	mask := len(t.slots) - 1
+	i := home(fp, mask)
+	cur, curDist := fp, 0
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			t.slots[i] = cur
+			return
+		}
+		if d := dist(s, i, mask); d < curDist {
+			t.slots[i], cur, curDist = cur, s, d
+		}
+		i = (i + 1) & mask
+		curDist++
 	}
 }
 
@@ -76,17 +123,29 @@ func (t *flatTable) grow() {
 	old := t.slots
 	t.slots = make([]uint64, 2*len(old))
 	t.grows++
-	mask := len(t.slots) - 1
 	for _, fp := range old {
-		if fp == 0 {
-			continue
+		if fp != 0 {
+			t.reinsert(fp)
 		}
-		i := home(fp, mask)
-		for t.slots[i] != 0 {
-			i = (i + 1) & mask
-		}
-		t.slots[i] = fp
 	}
+}
+
+// drain appends every stored fingerprint (sideband zero included) to dst
+// and resets the table to empty without releasing its slot array. The
+// Spill backend uses it to move the in-RAM tier onto disk.
+func (t *flatTable) drain(dst []uint64) []uint64 {
+	if t.hasZero {
+		dst = append(dst, 0)
+		t.hasZero = false
+	}
+	for i, fp := range t.slots {
+		if fp != 0 {
+			dst = append(dst, fp)
+			t.slots[i] = 0
+		}
+	}
+	t.used = 0
+	return dst
 }
 
 func (t *flatTable) len() int {
@@ -119,13 +178,16 @@ func (f *flat) Stats() Stats {
 }
 
 // stripe is one lock-striped sub-table of the concurrent Flat variant,
-// padded to a whole number of cache lines (mutex 8 + flatTable 48 + pad =
-// 128) so neighbouring stripes' mutexes and table bookkeeping never share
-// a line. TestStripePadding pins the arithmetic.
+// padded to exactly one cache line (mutex 8 + flatTable 48 + pad 8 = 64)
+// so neighbouring stripes' mutexes and table bookkeeping never share a
+// line. One line per stripe (the previous layout burned two) is a real
+// chunk of the small-run footprint: 64 stripes of fixed overhead sit next
+// to tables of a few hundred entries each. TestStripePadding pins the
+// arithmetic.
 type stripe struct {
 	mu sync.Mutex
 	t  flatTable
-	_  [128 - 8 - unsafe.Sizeof(flatTable{})]byte
+	_  [64 - 8 - unsafe.Sizeof(flatTable{})]byte
 }
 
 // stripedFlat is the concurrent Flat variant for the parallel driver: the
@@ -171,11 +233,21 @@ func (s *stripedFlat) Bytes() int64 {
 
 func (s *stripedFlat) Exact() bool { return true }
 
+// Stats snapshots every stripe in a single locked pass, so the reported
+// States/Bytes/Grows triple is stripe-consistent: a stripe that grows
+// between two separate passes can no longer surface as a torn profile
+// (bytes from before the growth, grow count from after).
 func (s *stripedFlat) Stats() Stats {
-	st := Stats{Backend: Flat.String(), States: s.Len(), Bytes: s.Bytes(), Exact: true}
+	st := Stats{
+		Backend: Flat.String(),
+		Exact:   true,
+		Bytes:   int64(len(s.stripes)) * int64(unsafe.Sizeof(stripe{})),
+	}
 	for i := range s.stripes {
 		sp := &s.stripes[i]
 		sp.mu.Lock()
+		st.States += sp.t.len()
+		st.Bytes += sp.t.bytes()
 		st.Grows += sp.t.grows
 		sp.mu.Unlock()
 	}

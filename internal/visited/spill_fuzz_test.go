@@ -1,0 +1,56 @@
+package visited
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"verc3/internal/statespace"
+)
+
+// FuzzSpillVsMapOracle is the differential fuzz test for the Spill
+// backend, mirroring FuzzFlatVsMapOracle: an arbitrary byte string is read
+// as a stream of fingerprints (8-byte little-endian words, final partial
+// word zero-padded, so the zero-fingerprint sideband crosses tiers too)
+// and fed to a spill store whose RAM budget is at the floor — every
+// corpus beyond a few hundred distinct fingerprints exercises flushes,
+// disk probes and merges. Every TryInsert verdict must agree with a
+// reference Go map, and a level-boundary merge is forced periodically so
+// dedup-across-runs is covered, not just appended runs.
+func FuzzSpillVsMapOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(binary.LittleEndian.AppendUint64(nil, 0xDEADBEEFCAFE))
+	seed := make([]byte, 0, 4096)
+	for i := 0; i < 256; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, mix(uint64(i%193)))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := newSpill(Config{Kind: Spill, SpillMem: 1, SpillDir: t.TempDir()})
+		defer closeIfCloser(t, s)
+		oracle := make(map[statespace.Fingerprint]bool)
+		step := 0
+		for len(data) > 0 {
+			var word [8]byte
+			n := copy(word[:], data)
+			data = data[n:]
+			fp := statespace.Fingerprint(binary.LittleEndian.Uint64(word[:]))
+			want := !oracle[fp]
+			oracle[fp] = true
+			if got := s.TryInsert(fp); got != want {
+				t.Fatalf("fp %x: TryInsert = %v, oracle %v", fp, got, want)
+			}
+			if step++; step%97 == 0 {
+				if err := s.EndLevel(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if s.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle has %d", s.Len(), len(oracle))
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

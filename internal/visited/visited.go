@@ -3,34 +3,50 @@
 // Store keyed by 64-bit statespace.Fingerprints, and the backend behind the
 // Store decides the memory/exactness trade of the whole run.
 //
-// Three backends are provided, in decreasing order of bytes per state:
+// Four backends are provided:
 //
 //   - Map: Go maps of fingerprints, lock-striped into shards for concurrent
 //     insertion (the checker's original visited set). Exact. The runtime's
 //     map machinery costs roughly 2× the 8-byte fingerprint per state.
-//   - Flat: an open-addressing table of raw 8-byte fingerprints with linear
-//     probing and power-of-two growth — Murphi-style hash compaction
-//     without the compaction, since the full fingerprint is kept. Exact,
-//     and the default backend: same dedupe semantics as Map at a fraction
-//     of the footprint and allocation count.
-//   - Bitstate: SPIN-style bitstate hashing. K derived hash positions per
-//     fingerprint are set in a bit array of fixed size (BitstateMB); a
-//     state whose bits are all already set is treated as visited. The
-//     memory budget never grows, but distinct states can collide on all K
-//     bits and be omitted from the search — the backend is inexact and
-//     reports an omission-probability estimate (Stats.OmissionProb).
+//   - Flat: an open-addressing table of raw 8-byte fingerprints with Robin
+//     Hood probing and power-of-two growth — Murphi-style hash compaction
+//     without the compaction, since the full fingerprint is kept. Robin
+//     Hood displacement keeps probe tails short enough to run the table at
+//     15/16 load before growing. Exact, and the default backend: same
+//     dedupe semantics as Map at a fraction of the footprint and
+//     allocation count.
+//   - Spill: a SWAP-style two-level store — the Robin Hood flat tier in
+//     RAM, budgeted by Config.SpillMem, overflowing to sorted fingerprint
+//     runs on disk that are merged and deduplicated at BFS level
+//     boundaries (LevelMarker). Exact, with peak RAM bounded by the tier
+//     budget plus a small fence index: the memory-bounded-but-exact
+//     regime that bitstate cannot serve.
+//   - Bitstate: SPIN-style bitstate hashing. K derived bit positions per
+//     fingerprint — all within one 64-bit word, so a single CAS publishes
+//     them — are set in a bit array of fixed size (BitstateMB); a state
+//     whose bits are all already set is treated as visited. The memory
+//     budget never grows, but distinct states can collide on all K bits
+//     and be omitted from the search — the backend is inexact and reports
+//     an omission-probability estimate (Stats.OmissionProb).
 //
 // Exactness here is relative to fingerprints: an exact backend admits
-// precisely the distinct fingerprints it is offered, so Map and Flat are
-// interchangeable bit-for-bit (the zoo equivalence tests pin this), while
-// Bitstate may reject never-seen fingerprints. The separate, much smaller
-// risk that two distinct states collide on their 64-bit fingerprint is a
-// property of the keying scheme (see package statespace), not the store.
+// precisely the distinct fingerprints it is offered, so Map, Flat and
+// Spill are interchangeable bit-for-bit (the zoo equivalence tests pin
+// this), while Bitstate may reject never-seen fingerprints. The separate,
+// much smaller risk that two distinct states collide on their 64-bit
+// fingerprint is a property of the keying scheme (see package statespace),
+// not the store.
 //
 // Stores come in two flavours: New builds a single-goroutine store for the
 // sequential exploration driver (no locks on the insert path), and
 // NewConcurrent builds a goroutine-safe store for the parallel driver
-// (lock-striped for Map and Flat, lock-free atomics for Bitstate).
+// (lock-striped for Map and Flat, lock-free atomics for Bitstate, a
+// read-write structural lock over striped tables for Spill). Every
+// backend's TryInsert is an exact expansion-ownership claim under its
+// concurrent flavour: exactly one of any number of racing inserts of the
+// same fingerprint is told it was first (for Bitstate this is the
+// single-CAS completion rule; omission of never-seen fingerprints remains
+// its documented lossiness).
 package visited
 
 import (
@@ -50,6 +66,8 @@ const (
 	Map
 	// Bitstate is SPIN-style bitstate hashing (fixed memory, inexact).
 	Bitstate
+	// Spill is the two-level RAM+disk store (exact, RAM-bounded).
+	Spill
 )
 
 // String returns the backend name as accepted by ParseKind.
@@ -61,6 +79,8 @@ func (k Kind) String() string {
 		return "map"
 	case Bitstate:
 		return "bitstate"
+	case Spill:
+		return "spill"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -80,8 +100,10 @@ func ParseKind(s string) (Kind, error) {
 		return Map, nil
 	case "bitstate":
 		return Bitstate, nil
+	case "spill":
+		return Spill, nil
 	default:
-		return 0, fmt.Errorf("visited: unknown backend %q (have flat, map, bitstate)", s)
+		return 0, fmt.Errorf("visited: unknown backend %q (have flat, map, bitstate, spill)", s)
 	}
 }
 
@@ -101,10 +123,11 @@ const (
 	// DefaultBitstateMB is the Bitstate bit-array budget when
 	// Config.BitstateMB <= 0.
 	DefaultBitstateMB = 64
-	// DefaultBitstateHashes is the number of derived hash positions (K)
+	// DefaultBitstateHashes is the number of derived bit positions (K)
 	// set per fingerprint when Config.BitstateHashes <= 0. SPIN's classic
 	// choice is 2–3; 3 keeps the omission probability lower for the same
-	// budget until the array passes ~25% fill.
+	// budget until the array passes ~25% fill. All K positions live in one
+	// 64-bit word (see bitstate), so K must stay well below 64.
 	DefaultBitstateHashes = 3
 )
 
@@ -114,13 +137,23 @@ type Config struct {
 	Kind Kind
 	// ShardBits is log2 of the shard (Map) or stripe (Flat) count of the
 	// concurrent variants; <= 0 selects the backend default, values above
-	// MaxShardBits are clamped. Ignored by New and by Bitstate.
+	// MaxShardBits are clamped. Ignored by New, by Bitstate, and by Spill
+	// (whose stripe count is fixed — see spillStripes).
 	ShardBits int
 	// BitstateMB is the Bitstate bit-array budget in MiB (<= 0 =
 	// DefaultBitstateMB). The array is allocated once and never grows.
 	BitstateMB int
 	// BitstateHashes is Bitstate's K (<= 0 = DefaultBitstateHashes).
 	BitstateHashes int
+	// SpillMem is the Spill backend's in-RAM tier budget in bytes (<= 0 =
+	// DefaultSpillMem). The tier flushes to a sorted on-disk run when it
+	// approaches the budget; a floor of a few KiB applies (the striped
+	// tables never shrink below their minimum slot counts).
+	SpillMem int64
+	// SpillDir is the parent directory for the Spill backend's run files
+	// ("" = the OS temp dir). A fresh subdirectory is created lazily at
+	// the first flush and removed by Close.
+	SpillDir string
 }
 
 // Stats is a backend's self-report, surfaced through statespace.Stats so
@@ -131,13 +164,15 @@ type Stats struct {
 	// States is Len(): distinct fingerprints admitted (for Bitstate, the
 	// number of TryInsert calls that were treated as new).
 	States int
-	// Bytes is the measured storage footprint: exact array sizes for Flat
-	// and Bitstate, a documented geometry model for Map (Go maps cannot be
-	// introspected portably; see mapBytes).
+	// Bytes is the measured in-RAM storage footprint: exact array sizes
+	// for Flat and Bitstate, tier tables plus fence index for Spill, a
+	// documented geometry model for Map (Go maps cannot be introspected
+	// portably; see mapBytes).
 	Bytes int64
 	// Exact mirrors Kind.Exact.
 	Exact bool
-	// Grows counts table growths (Flat) — each one is a full rehash.
+	// Grows counts table growths (Flat, Spill's RAM tier) — each one is a
+	// full rehash.
 	Grows int
 	// BitsSet is the number of one-bits in the Bitstate array.
 	BitsSet int64
@@ -146,18 +181,27 @@ type Stats struct {
 	// per-state omission risk at the current fill, (BitsSet/m)^K. Zero for
 	// exact backends.
 	OmissionProb float64
+	// SpilledBytes is the Spill backend's on-disk footprint: the summed
+	// size of its live run files. Zero for RAM-only backends.
+	SpilledBytes int64
+	// SpillRuns is the number of live run files (1 after a level-boundary
+	// merge; up to spillMaxRuns between boundaries).
+	SpillRuns int
 }
 
 // Store is the visited-set contract shared by both exploration drivers.
 // TryInsert is the only hot-path method; the rest are end-of-run hooks.
 type Store interface {
 	// TryInsert admits fp and reports whether it was absent — i.e. the
-	// caller is the first to visit this state and owns its expansion. For
-	// Bitstate, "absent" is probabilistic: a false report omits the state.
+	// caller is the first to visit this state and owns its expansion. At
+	// most one of any set of racing inserts of the same fingerprint is
+	// told it was first, for every backend. For Bitstate, "absent" is
+	// additionally probabilistic: a false report omits the state.
 	TryInsert(fp statespace.Fingerprint) bool
 	// Len returns the number of fingerprints admitted.
 	Len() int
-	// Bytes returns the measured storage footprint (see Stats.Bytes).
+	// Bytes returns the measured in-RAM storage footprint (see
+	// Stats.Bytes).
 	Bytes() int64
 	// Exact mirrors Kind.Exact for the backing backend.
 	Exact() bool
@@ -165,15 +209,26 @@ type Store interface {
 	Stats() Stats
 }
 
+// LevelMarker is implemented by backends that reorganize storage at BFS
+// level boundaries: the exploration drivers call EndLevel between levels,
+// and Spill uses it to merge its run files down to one. A non-nil error
+// aborts the exploration (the store's answers can no longer be trusted).
+// Backends without level-boundary work simply don't implement it.
+type LevelMarker interface {
+	EndLevel() error
+}
+
 // New builds a single-goroutine store: the sequential driver's insert path
 // stays lock-free. The returned store must not be used concurrently
-// (except Bitstate, which is always goroutine-safe).
+// (except Bitstate and Spill, which are always goroutine-safe).
 func New(cfg Config) Store {
 	switch cfg.Kind {
 	case Map:
 		return newMapStore()
 	case Bitstate:
 		return newBitstate(cfg)
+	case Spill:
+		return newSpill(cfg)
 	default:
 		return newFlat()
 	}
@@ -186,6 +241,8 @@ func NewConcurrent(cfg Config) Store {
 		return newShardedMap(cfg.ShardBits)
 	case Bitstate:
 		return newBitstate(cfg)
+	case Spill:
+		return newSpill(cfg)
 	default:
 		return newStripedFlat(cfg.ShardBits)
 	}
