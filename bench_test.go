@@ -26,7 +26,9 @@ import (
 	"verc3/internal/mc"
 	"verc3/internal/msi"
 	"verc3/internal/mutex"
+	"verc3/internal/network"
 	"verc3/internal/statespace"
+	"verc3/internal/symmetry"
 	"verc3/internal/toy"
 	"verc3/internal/visited"
 	"verc3/internal/zoo"
@@ -427,6 +429,111 @@ func BenchmarkVisitedBitstateParallel(b *testing.B) {
 	visitedBench(b, visited.Bitstate, parallelWorkers())
 }
 func BenchmarkVisitedSpillParallel(b *testing.B) { visitedBench(b, visited.Spill, parallelWorkers()) }
+
+// --- Canonical fingerprinting (experiment E14) ---
+//
+// The keying pipeline in isolation and end to end: formatted Key() strings
+// hashed with OfString (the pre-E14 scheme, kept behind Options.StringKeys)
+// against ts.KeyAppender binary encodings hashed straight off a reusable
+// buffer with OfBytes. BenchmarkCanonicalize* additionally covers the
+// symmetry canonicalizer, whose scratch-state rework (one pooled permuted
+// clone + two key buffers instead of N!−1 deep clones and strings per
+// state) is the headline win: BenchmarkCanonicalize must report 0
+// allocs/op. All rows land in the CI benchstat artifact via -benchmem.
+
+// fingerprintBenchState builds a mid-transaction 4-cache MSI state with
+// in-flight messages — representative per-state keying work.
+func fingerprintBenchState() *msi.State {
+	return &msi.State{
+		Caches: []msi.Cache{
+			{St: msi.CacheM, Data: 1},
+			{St: msi.CacheISD},
+			{St: msi.CacheS, Data: 1},
+			{St: msi.CacheIMAD, Acks: 1},
+		},
+		Dir: msi.Dir{St: msi.DirMS, Owner: 0, Pending: 1, Sharers: 0b0100, Mem: 1},
+		Net: network.New(
+			network.Msg{Type: msi.MsgFwdGetS, Src: 4, Dst: 0, Req: 1, Val: 0},
+			network.Msg{Type: msi.MsgData, Src: 4, Dst: 3, Req: -1, Cnt: 1, Val: 1},
+			network.Msg{Type: msi.MsgInv, Src: 4, Dst: 2, Req: 3, Val: 0},
+		),
+		Ghost: 1,
+	}
+}
+
+var fingerprintSink statespace.Fingerprint
+
+// BenchmarkFingerprintString is the legacy keying unit: format the key
+// string, hash it, drop it (one-plus allocations per state).
+func BenchmarkFingerprintString(b *testing.B) {
+	s := fingerprintBenchState()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fingerprintSink = statespace.OfString(s.Key())
+	}
+}
+
+// BenchmarkFingerprintAppend is the binary keying unit: append the
+// encoding into a reused buffer, hash it in place (zero allocations).
+func BenchmarkFingerprintAppend(b *testing.B) {
+	s := fingerprintBenchState()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = s.AppendKey(buf[:0])
+		fingerprintSink = statespace.OfBytes(buf)
+	}
+}
+
+// BenchmarkCanonicalizeString canonicalizes over the 24 permutations of
+// the 4-cache state through the string path: a deep clone plus a formatted
+// key per non-identity permutation.
+func BenchmarkCanonicalizeString(b *testing.B) {
+	s := fingerprintBenchState()
+	canon := symmetry.NewCanonicalizer(len(s.Caches))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fingerprintSink = statespace.OfString(canon.Key(s))
+	}
+}
+
+// BenchmarkCanonicalize is the scratch-state path: the same 24
+// permutations through one pooled reusable clone and two key buffers.
+// The acceptance bar is 0 allocs/op.
+func BenchmarkCanonicalize(b *testing.B) {
+	s := fingerprintBenchState()
+	canon := symmetry.NewCanonicalizer(len(s.Caches))
+	canon.Fingerprint(s) // warm the pooled scratch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fingerprintSink = canon.Fingerprint(s)
+	}
+}
+
+// keyingBench explores the complete MSI protocol once per iteration under
+// the given keying path and symmetry setting (the E14 end-to-end rows).
+func keyingBench(b *testing.B, stringKeys, sym bool) {
+	b.Helper()
+	sys := msi.New(msi.Config{Caches: *benchCaches, Variant: msi.Complete})
+	b.ReportAllocs()
+	var last *mc.Result
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(sys, mc.Options{Symmetry: sym, StringKeys: stringKeys})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != mc.Success {
+			b.Fatalf("verdict = %v", res.Verdict)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Space.States), "states")
+}
+
+func BenchmarkKeyingAppendSymOn(b *testing.B)  { keyingBench(b, false, true) }
+func BenchmarkKeyingStringSymOn(b *testing.B)  { keyingBench(b, true, true) }
+func BenchmarkKeyingAppendSymOff(b *testing.B) { keyingBench(b, false, false) }
+func BenchmarkKeyingStringSymOff(b *testing.B) { keyingBench(b, true, false) }
 
 // BenchmarkSynthPeterson covers the second domain end to end.
 func BenchmarkSynthPeterson(b *testing.B) {

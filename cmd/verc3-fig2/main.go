@@ -6,7 +6,7 @@
 // Usage:
 //
 //	verc3-fig2 [-visited flat|map|spill] [-bitstate-mb N] [-spill-mem-mb N]
-//	           [-spill-dir DIR] [-stats]
+//	           [-spill-dir DIR] [-cpuprofile FILE] [-memprofile FILE] [-stats]
 package main
 
 import (
@@ -27,6 +27,8 @@ func main() {
 	bitstateM := flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
 	spillMB := flag.Int("spill-mem-mb", 0, "spill backend's per-dispatch in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
 	spillDir := flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
 
 	if err := cliutil.FirstNegative(
@@ -42,6 +44,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
 		os.Exit(2)
 	}
+
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
+		os.Exit(2)
+	}
+	exit := cliutil.ProfiledExit("verc3-fig2", stopProf)
 
 	g := toy.Figure2()
 
@@ -75,13 +84,13 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
-		os.Exit(2)
+		exit(2)
 	}
 
 	naive, err := core.Synthesize(g, core.Config{Mode: core.ModeNaive, MC: mcOpt})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
-		os.Exit(2)
+		exit(2)
 	}
 
 	fmt.Println()
@@ -98,6 +107,7 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Println("Paper (Fig. 2): 10 runs with pruning versus 24 naive candidates.")
+	exit(0)
 }
 
 // describe renders a candidate in the paper's ⟨1@A, 2@?⟩ notation; holes

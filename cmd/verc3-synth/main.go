@@ -7,7 +7,7 @@
 //	verc3-synth -system msi-small [-caches 2] [-mode prune|naive]
 //	            [-workers 4] [-mc-workers 1] [-style full|trace] [-max-eval N]
 //	            [-visited flat|map|spill] [-spill-mem-mb N] [-spill-dir DIR]
-//	            [-stats] [-v]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-stats] [-v]
 package main
 
 import (
@@ -40,6 +40,8 @@ func main() {
 		spillMB   = flag.Int("spill-mem-mb", 0, "spill backend's per-dispatch in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
 		spillDir  = flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
 		verbose   = flag.Bool("v", false, "log rounds and solutions as they are found")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -100,11 +102,18 @@ func main() {
 		cfg.Log = func(f string, a ...any) { fmt.Printf("· "+f+"\n", a...) }
 	}
 
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
+		os.Exit(2)
+	}
+	exit := cliutil.ProfiledExit("verc3-synth", stopProf)
+
 	start := time.Now()
 	res, err := core.Synthesize(sys, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
-		os.Exit(2)
+		exit(2)
 	}
 	st := res.Stats
 	fmt.Printf("system:           %s\n", sys.Name())
@@ -135,6 +144,7 @@ func main() {
 		fmt.Printf("  #%d (%d states%s): %s\n", i+1, sol.VisitedStates, mark, res.Describe(i))
 	}
 	if len(res.Solutions) == 0 && !st.Truncated {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

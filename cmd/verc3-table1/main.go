@@ -14,6 +14,7 @@
 //	verc3-table1 [-caches 2] [-workers 4] [-mc-workers 1] [-naive-large-max 20000]
 //	             [-full] [-skip-naive] [-visited flat|map|spill]
 //	             [-spill-mem-mb N] [-spill-dir DIR] [-stats]
+//	             [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -54,6 +55,8 @@ func main() {
 		bitstateM  = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
 		spillMB    = flag.Int("spill-mem-mb", 0, "spill backend's per-dispatch in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
 		spillDir   = flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -74,6 +77,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
 		os.Exit(2)
 	}
+
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
+		os.Exit(2)
+	}
+	exit := cliutil.ProfiledExit("verc3-table1", stopProf)
 
 	rows := []*row{
 		{name: "MSI-small 1 thread, no pruning", variant: msi.Small, mode: core.ModeNaive, workers: 1},
@@ -110,7 +120,7 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(2)
+			exit(2)
 		}
 		r.res = res
 		r.elapsed = time.Since(start)
@@ -184,4 +194,5 @@ func main() {
 		fmt.Printf("parallel large: %.2fx over 1-thread pruning (paper: 2.5x; needs >1 CPU to materialize)\n",
 			float64(rows[4].elapsed)/float64(rows[5].elapsed))
 	}
+	exit(0)
 }

@@ -9,6 +9,7 @@
 //	             [-dfs] [-workers N] [-shard-bits B] [-no-trace] [-stats]
 //	             [-visited flat|map|bitstate|spill] [-bitstate-mb N]
 //	             [-spill-mem-mb N] [-spill-dir DIR]
+//	             [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -42,6 +43,8 @@ func main() {
 		bitstateM = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (0 = default 64; -visited bitstate only)")
 		spillMB   = flag.Int("spill-mem-mb", 0, "spill backend's in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
 		spillDir  = flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -78,6 +81,12 @@ func main() {
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
+		os.Exit(2)
+	}
+	exit := cliutil.ProfiledExit("verc3-verify", stopProf)
 	opt := mc.Options{
 		Symmetry:    *symmetry,
 		RecordTrace: !*noTrace,
@@ -97,7 +106,7 @@ func main() {
 	res, err := mc.Check(sys, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
-		os.Exit(2)
+		exit(2)
 	}
 	fmt.Printf("system:      %s\n", sys.Name())
 	fmt.Printf("verdict:     %s\n", res.Verdict)
@@ -115,6 +124,7 @@ func main() {
 	if res.Verdict == mc.Failure {
 		fmt.Println()
 		fmt.Print(trace.Format(res.Failure, trace.Options{ShowStates: *states}))
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

@@ -10,11 +10,16 @@
 //   - internal/ts and internal/dsl — the guarded-command modelling layer: a
 //     Murphi-like embedded DSL in which systems describe initial states,
 //     enabled transitions, invariants, reachability goals and synthesis
-//     holes (ts.Env.Choose).
+//     holes (ts.Env.Choose). States key themselves twice over: the
+//     mandatory human-readable Key() string (traces, fallback) and the
+//     optional ts.KeyAppender binary encoding appended into caller-owned
+//     buffers, which is what the exploration hot path hashes.
 //   - internal/statespace — the exploration substrate: 64-bit FNV-1a state
-//     fingerprints, a ring-buffer frontier queue, a level-synchronous
-//     parallel work distributor, the optional parent-linked trace store,
-//     and the Stats memory profile.
+//     fingerprints (OfString / allocation-free OfBytes / incremental
+//     Hasher), a ring-buffer frontier queue, a level-synchronous parallel
+//     work distributor that hands each expansion a stable worker index for
+//     per-worker scratch, the optional parent-linked trace store, and the
+//     Stats memory profile.
 //   - internal/visited — pluggable visited-set storage behind one Store
 //     interface: Go maps (lock-striped shards), a Robin Hood
 //     open-addressing fingerprint table (the default, 15/16 load cap), a
@@ -23,11 +28,15 @@
 //     a SPIN-style bitstate tier with a fixed memory budget and a
 //     reported omission-probability estimate.
 //   - internal/symmetry — scalarset canonicalization (goroutine-safe), used
-//     for symmetry reduction of states implementing ts.Permutable.
+//     for symmetry reduction of states implementing ts.Permutable. The
+//     Fingerprint hot path minimizes binary encodings over pooled
+//     scratch — one reusable permuted clone (ts.InPlacePermuter) plus two
+//     key buffers — at zero steady-state allocations; the string Key path
+//     remains for traces and the keying ablation.
 //   - internal/mc — the embedded explicit-state model checker: sequential
 //     (deterministic, minimal BFS counterexamples) and level-parallel BFS
-//     drivers over the shared fingerprint keying scheme, three-valued
-//     verdicts, deadlock and goal checking.
+//     drivers over the shared fingerprint keying scheme with per-worker
+//     keyer scratch, three-valued verdicts, deadlock and goal checking.
 //   - internal/core — the paper's contribution: synthesis by lazy hole
 //     discovery and candidate pruning, with cross-candidate and intra-check
 //     parallelism sharing one budget (core.SplitParallelism).
@@ -38,10 +47,11 @@
 //
 // Command-line tools are under cmd/ (verc3-verify, verc3-synth,
 // verc3-table1, verc3-fig2; all support -stats, select the visited-set
-// backend with -visited flat|map|bitstate|spill, and size it with
-// -bitstate-mb / -spill-mem-mb / -spill-dir; negative sizing or
-// parallelism values are rejected up front rather than silently clamped)
-// and runnable demos under examples/.
+// backend with -visited flat|map|bitstate|spill, size it with
+// -bitstate-mb / -spill-mem-mb / -spill-dir, and write pprof profiles
+// with -cpuprofile / -memprofile; negative sizing or parallelism values
+// are rejected up front rather than silently clamped) and runnable demos
+// under examples/.
 //
 // # Trace-optional exploration
 //
@@ -72,9 +82,21 @@
 // counts are exact for the space explored. Synthesis dispatches require
 // an exact backend and the final re-verification always runs on one.
 //
+// # Zero-allocation keying
+//
+// Keying is the work done for every offered successor, visited or not, so
+// it is the exploration hot path's hot path. The binary pipeline never
+// materializes a per-state encoding: AppendKey writes into reusable
+// per-worker buffers, OfBytes hashes them in place, and under symmetry
+// the canonicalizer's pooled scratch state absorbs the N!-1 permutations
+// (294.9 -> 23.7 mallocs/state and ~10x wall-clock on msi-complete with
+// symmetry on; allocations that remain are the model's own successor
+// clones). mc.Options.StringKeys forces the legacy formatted-string path
+// for differential tests and the E14 ablation.
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation plus this repo's ablations (parallel
-// drivers, visited-set keying and backends, trace on/off memory); see
-// DESIGN.md for the experiment index and EXPERIMENTS.md for
-// paper-versus-measured results.
+// drivers, visited-set keying and backends, trace on/off memory, the
+// keying pipeline); see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-versus-measured results.
 package verc3

@@ -1,7 +1,14 @@
-// Package cliutil holds small helpers shared by the cmd/ binaries.
+// Package cliutil holds small helpers shared by the cmd/ binaries: flag
+// validation and the -cpuprofile/-memprofile pprof plumbing, so perf work
+// profiles the real tools instead of guessing from microbenchmarks.
 package cliutil
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
 
 // IntFlag names one integer flag value for validation. Value is int64 so
 // one type covers flag.Int and flag.Int64 flags alike (callers wrap int
@@ -25,4 +32,75 @@ func FirstNegative(flags ...IntFlag) error {
 		}
 	}
 	return nil
+}
+
+// ProfiledExit wraps os.Exit for a binary that called StartProfiles: the
+// returned function flushes the profiles (os.Exit skips defers), reporting
+// any flush failure on stderr under the tool's name and promoting a
+// would-be-success exit to code 2 so a silently truncated profile cannot
+// look like a clean run.
+func ProfiledExit(tool string, stop func() error) func(code int) {
+	return func(code int) {
+		if err := stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+			if code == 0 {
+				code = 2
+			}
+		}
+		os.Exit(code)
+	}
+}
+
+// StartProfiles wires the -cpuprofile/-memprofile flags every cmd/ binary
+// exposes: it starts a CPU profile into cpuPath and arranges a heap
+// profile into memPath, either or both of which may be empty ("off").
+//
+// The returned stop function must run before the process exits — including
+// the os.Exit paths, which skip defers — to flush the CPU profile and take
+// the heap snapshot (after a GC, so the profile shows live retention
+// rather than garbage). stop is idempotent and never nil. The profiles are
+// written with runtime/pprof and read with `go tool pprof`.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuPath != "" {
+		cpu, err = os.Create(cpuPath)
+		if err != nil {
+			return func() error { return nil }, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return func() error { return nil }, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var first error
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				first = fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("-memprofile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("-memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return first
+	}, nil
 }

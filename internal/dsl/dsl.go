@@ -17,6 +17,14 @@
 //
 // Holes work exactly as in raw ts models: call env.Choose inside an action
 // and return its error (wildcard aborts propagate through).
+//
+// The builder never wraps states — the S values a model mutates are exactly
+// the ts.States the checker sees — so every optional state capability passes
+// straight through: a state type that implements ts.KeyAppender keeps the
+// allocation-free binary fingerprinting path, and one that implements
+// ts.Permutable / ts.InPlacePermuter keeps (scratch-state) symmetry
+// reduction, with no declaration on the Builder (internal/tokenring's ring
+// implements KeyAppender this way).
 package dsl
 
 import (

@@ -9,11 +9,17 @@
 // # Keying scheme and visited-set backends
 //
 // Both exploration drivers share one keying scheme (internal/statespace): a
-// state's canonical key — its Key() string, after symmetry canonicalization
-// when Options.Symmetry is on — is hashed to a 64-bit FNV-1a fingerprint,
-// and only the fingerprint is stored. Because the sequential and parallel
-// drivers dedupe through the same fingerprints, complete explorations
-// report identical reachable-state counts under both.
+// state's canonical encoding — its ts.KeyAppender binary encoding appended
+// into per-worker scratch (canonicalized over all agent permutations when
+// Options.Symmetry is on, see internal/symmetry), falling back to the
+// formatted Key() string for states without an appender — is hashed to a
+// 64-bit FNV-1a fingerprint, and only the fingerprint is stored. On the
+// appender path nothing per-state is allocated to key a state: the
+// encoding lands in a reusable buffer and the fingerprint comes straight
+// off it (statespace.OfBytes). Because the sequential and parallel drivers
+// dedupe through the same fingerprints, complete explorations report
+// identical reachable-state counts under both; Options.StringKeys forces
+// the legacy string path for differential testing.
 //
 // Where the fingerprints live is pluggable (Options.Visited, package
 // internal/visited): a Robin Hood open-addressing table (the default), Go
@@ -279,6 +285,14 @@ type Options struct {
 	// they attribute cleanly only when nothing else allocates during the
 	// run (concurrent synthesis dispatches inflate each other's counts).
 	MemStats bool
+	// StringKeys routes fingerprinting through the legacy path — a
+	// formatted Key() string per offered state (canonicalized over string
+	// comparison under Symmetry) hashed with OfString — instead of the
+	// allocation-free ts.KeyAppender binary encodings. Exploration results
+	// are identical either way (the zoo keying-equivalence test pins this);
+	// the flag exists for differential testing and the E14 keying ablation,
+	// not for production use.
+	StringKeys bool
 }
 
 // item is one frontier entry of the sequential driver: the state itself
@@ -298,6 +312,7 @@ type checker struct {
 	sys   ts.System
 	opt   Options
 	canon *symmetry.Canonicalizer
+	key   keyer
 	invs  []ts.Invariant
 	goals []ts.ReachGoal
 	quies ts.QuiescentReporter
@@ -306,6 +321,10 @@ type checker struct {
 	traces   *statespace.TraceStore[ts.State]
 	frontier statespace.Queue[item]
 	goalHit  []bool
+	// admitted mirrors visited.Len() as a plain monotonic counter so the
+	// MaxStates cap probe never touches the store on the expansion path
+	// (Len can be a sweep for some backends).
+	admitted int
 
 	res Result
 }
@@ -353,6 +372,7 @@ func check(sys ts.System, opt Options) (*Result, error) {
 		c.quies = qr
 	}
 	c.canon = newCanon(sys, opt)
+	c.key = newKeyer(c.canon, opt)
 	err := c.run()
 	if err == nil {
 		c.res.Space.Transitions = c.res.Stats.FiredTransitions
@@ -443,14 +463,45 @@ func anyPermutable(sys ts.System) (ts.Permutable, bool) {
 	return nil, false
 }
 
-// stateFingerprint returns the 64-bit fingerprint of s's canonical key —
-// the keying scheme shared by both exploration drivers (which is what makes
-// their reachable-state counts comparable).
-func stateFingerprint(canon *symmetry.Canonicalizer, s ts.State) statespace.Fingerprint {
-	if canon != nil {
-		return statespace.OfString(canon.Key(s))
+// keyer is the per-worker fingerprinting scratch: the canonicalizer handle
+// plus a reusable encoding buffer for the no-symmetry appender path. Both
+// drivers thread one keyer per worker through enqueue/expand — never
+// shared, never locked — so the traceless synthesis regime fingerprints
+// without allocating at all. The zero value (nil canon) keys without
+// symmetry reduction.
+type keyer struct {
+	canon  *symmetry.Canonicalizer
+	legacy bool   // Options.StringKeys: format and hash Key() strings instead
+	buf    []byte // reusable AppendKey buffer (canon == nil path)
+}
+
+// fingerprint returns the 64-bit fingerprint of s's canonical encoding —
+// the keying scheme shared by both exploration drivers (which is what
+// makes their reachable-state counts comparable). The hot path appends s's
+// binary encoding into the keyer's reusable buffer (or the canonicalizer's
+// pooled scratch under symmetry) and hashes it in place; states without
+// ts.KeyAppender, and runs forcing Options.StringKeys, fall back to
+// hashing the formatted Key() string.
+func (k *keyer) fingerprint(s ts.State) statespace.Fingerprint {
+	if k.legacy {
+		if k.canon != nil {
+			return statespace.OfString(k.canon.Key(s))
+		}
+		return statespace.OfString(s.Key())
+	}
+	if k.canon != nil {
+		return k.canon.Fingerprint(s)
+	}
+	if a, ok := s.(ts.KeyAppender); ok {
+		k.buf = a.AppendKey(k.buf[:0])
+		return statespace.OfBytes(k.buf)
 	}
 	return statespace.OfString(s.Key())
+}
+
+// newKeyer builds a worker's fingerprinting scratch.
+func newKeyer(canon *symmetry.Canonicalizer, opt Options) keyer {
+	return keyer{canon: canon, legacy: opt.StringKeys}
 }
 
 // tracePath converts a trace-store parent chain into initial→violation
@@ -467,9 +518,10 @@ func tracePath(n *statespace.TraceNode[ts.State]) []TraceStep {
 // enqueue registers s if unseen and returns its frontier item and whether
 // it was fresh. The trace store allocates a node only under RecordTrace.
 func (c *checker) enqueue(s ts.State, parent *statespace.TraceNode[ts.State], rule string, depth int, mask uint64) (item, bool) {
-	if !c.visited.TryInsert(stateFingerprint(c.canon, s)) {
+	if !c.visited.TryInsert(c.key.fingerprint(s)) {
 		return item{}, false
 	}
+	c.admitted++
 	it := item{state: s, node: c.traces.Add(s, rule, parent), depth: depth, mask: mask}
 	if depth > c.res.Stats.MaxDepth {
 		c.res.Stats.MaxDepth = depth
@@ -537,7 +589,7 @@ func (c *checker) run() error {
 				}
 			}
 		}
-		if c.opt.MaxStates > 0 && c.visited.Len() > c.opt.MaxStates {
+		if c.opt.MaxStates > 0 && c.admitted > c.opt.MaxStates {
 			c.res.CapHit = true
 			break
 		}

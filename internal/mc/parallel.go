@@ -39,9 +39,13 @@ type pchecker struct {
 	sys   ts.System
 	opt   Options
 	canon *symmetry.Canonicalizer
-	invs  []ts.Invariant
-	goals []ts.ReachGoal
-	quies ts.QuiescentReporter
+	// keyers is the per-worker fingerprinting scratch, indexed by the
+	// ExpandLevel worker index — each worker owns its encoding buffer
+	// outright, so the keying hot path is allocation- and lock-free.
+	keyers []keyer
+	invs   []ts.Invariant
+	goals  []ts.ReachGoal
+	quies  ts.QuiescentReporter
 
 	visited visited.Store
 	traces  *statespace.TraceStore[ts.State]
@@ -50,6 +54,12 @@ type pchecker struct {
 	fired    atomic.Int64
 	aborts   atomic.Int64
 	maxDepth atomic.Int64 // max enqueued depth (same semantics as sequential)
+	// admitted mirrors visited.Len() as a monotonic counter so the
+	// MaxStates cap probe is one atomic load instead of a per-expansion
+	// sweep of the striped store. Maintained only when a cap is set —
+	// uncapped runs (the synthesis default) skip even the shared-counter
+	// increment on the admission path.
+	admitted atomic.Int64
 	wildcard atomic.Bool
 	capHit   atomic.Bool
 	// peak is the frontier high-water mark: the largest cur-level +
@@ -78,6 +88,10 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 	if qr, ok := sys.(ts.QuiescentReporter); ok {
 		c.quies = qr
 	}
+	c.keyers = make([]keyer, opt.Workers)
+	for i := range c.keyers {
+		c.keyers[i] = newKeyer(c.canon, opt)
+	}
 	res, err := c.run()
 	if cerr := closeStore(c.visited); err == nil {
 		err = cerr
@@ -88,8 +102,16 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 	return res, nil
 }
 
-func (c *pchecker) fingerprint(s ts.State) statespace.Fingerprint {
-	return stateFingerprint(c.canon, s)
+// tryAdmit claims expansion ownership of s through worker w's keyer
+// scratch, bumping the admitted counter on success when a cap needs it.
+func (c *pchecker) tryAdmit(w int, s ts.State) bool {
+	if !c.visited.TryInsert(c.keyers[w].fingerprint(s)) {
+		return false
+	}
+	if c.opt.MaxStates > 0 {
+		c.admitted.Add(1)
+	}
+	return true
 }
 
 // noteDepth lifts the max-enqueued-depth watermark to d (racing workers
@@ -138,9 +160,10 @@ func (c *pchecker) fail(kind FailKind, name string, n *statespace.TraceNode[ts.S
 
 // expand fires all transitions of one frontier entry, emitting fresh
 // successors into the next level. It is called concurrently by the level
-// workers.
-func (c *pchecker) expand(it pitem, emit func(pitem)) (stop bool, err error) {
-	if c.opt.MaxStates > 0 && c.visited.Len() > c.opt.MaxStates {
+// workers; w is the ExpandLevel worker index selecting this worker's
+// keyer scratch.
+func (c *pchecker) expand(w int, it pitem, emit func(pitem)) (stop bool, err error) {
+	if c.opt.MaxStates > 0 && c.admitted.Load() > int64(c.opt.MaxStates) {
 		c.capHit.Store(true)
 		return true, nil
 	}
@@ -159,7 +182,7 @@ func (c *pchecker) expand(it pitem, emit func(pitem)) (stop bool, err error) {
 		}
 		c.fired.Add(1)
 		succs++
-		if !c.visited.TryInsert(c.fingerprint(next)) {
+		if !c.tryAdmit(w, next) {
 			continue
 		}
 		child := pitem{state: next, node: c.traces.Add(next, tr.Name, it.node), depth: it.depth + 1}
@@ -191,7 +214,7 @@ func (c *pchecker) run() (*Result, error) {
 	var frontier []pitem
 	stopped := false
 	for _, s := range inits {
-		if !c.visited.TryInsert(c.fingerprint(s)) {
+		if !c.tryAdmit(0, s) {
 			continue
 		}
 		it := pitem{state: s, node: c.traces.Add(s, "", nil)}

@@ -1,0 +1,180 @@
+package msi_test
+
+// Tests for the binary keying capabilities of the MSI state: AppendKey's
+// agreement with Key, and PermuteInto/Scratch's agreement with Permute —
+// the two contracts the zero-allocation canonical fingerprinting pipeline
+// (internal/symmetry) relies on.
+
+import (
+	"bytes"
+	"testing"
+
+	"verc3/internal/msi"
+	"verc3/internal/network"
+	"verc3/internal/symmetry"
+	"verc3/internal/ts"
+)
+
+// stateFromBytes deterministically decodes an arbitrary byte string into a
+// structurally valid 3-cache MSI state: every field is drawn from the next
+// input byte (reduced into its range where the model requires it, left
+// nearly raw where Key renders any value), and up to four in-flight
+// messages are built from a mix of real protocol types and raw short
+// strings. The point is coverage of the encoding space, not protocol
+// plausibility.
+func stateFromBytes(data []byte) *msi.State {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	types := []string{msi.MsgGetS, msi.MsgGetM, msi.MsgFwdGetS, msi.MsgFwdGetM,
+		msi.MsgInv, msi.MsgInvAck, msi.MsgData, msi.MsgAck, "X", "", "Y|;,"}
+	s := &msi.State{Caches: make([]msi.Cache, 3)}
+	for i := range s.Caches {
+		s.Caches[i] = msi.Cache{
+			St:   msi.CacheState(next() % 7),
+			Data: int8(next() % 3),
+			Acks: int8(next()%7) - 3,
+		}
+	}
+	s.Dir = msi.Dir{
+		St:      msi.DirState(next() % 7),
+		Owner:   int8(next()%5) - 1,
+		Pending: int8(next()%5) - 1,
+		Sharers: next(),
+		Mem:     int8(next() % 3),
+	}
+	s.Ghost = int8(next() % 3)
+	if next()%4 == 0 {
+		s.Err = string([]byte{next()%26 + 'a', next()%26 + 'a'})
+	}
+	var msgs []network.Msg
+	for n := next() % 5; n > 0; n-- {
+		msgs = append(msgs, network.Msg{
+			Type: types[int(next())%len(types)],
+			Src:  int(next()%6) - 1,
+			Dst:  int(next()%6) - 1,
+			Req:  int(next()%6) - 1,
+			Cnt:  int(next()%5) - 2,
+			Val:  int(next() % 3),
+		})
+	}
+	s.Net = network.New(msgs...)
+	return s
+}
+
+// FuzzAppendKeyInjective fuzzes the injectivity direction the checker's
+// soundness needs: two randomized states with distinct Key() strings must
+// produce distinct AppendKey encodings (a shared encoding would merge two
+// distinct states in the visited set). The converse — equal keys implying
+// equal encodings — additionally holds whenever the states' raw fields are
+// equal, which the equal-input seed below exercises; it is deliberately
+// not asserted for arbitrary pairs, because the binary encoding is
+// injective on raw fields even where the delimiter-based Key string can
+// collide (e.g. message Type strings containing commas).
+func FuzzAppendKeyInjective(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 2, 3}, []byte{1, 2, 3})
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte("some longer seed input with message bytes"), []byte{0xff, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		sa, sb := stateFromBytes(a), stateFromBytes(b)
+		ea, eb := sa.AppendKey(nil), sb.AppendKey(nil)
+		if sa.Key() != sb.Key() && bytes.Equal(ea, eb) {
+			t.Errorf("distinct keys share an encoding:\n key a: %q\n key b: %q\n enc: %x", sa.Key(), sb.Key(), ea)
+		}
+		if bytes.Equal(a, b) && !bytes.Equal(ea, eb) {
+			t.Errorf("equal inputs, distinct encodings: %x vs %x", ea, eb)
+		}
+	})
+}
+
+// TestAppendKeySensitivity flips each field of a baseline state in turn
+// and checks the encoding moves — the direct probe for a field omitted
+// from AppendKey but present in Key.
+func TestAppendKeySensitivity(t *testing.T) {
+	base := func() *msi.State {
+		return &msi.State{
+			Caches: []msi.Cache{{St: msi.CacheM, Data: 1}, {St: msi.CacheS, Data: 1}, {}},
+			Dir:    msi.Dir{St: msi.DirM, Owner: 0, Pending: msi.None, Sharers: 0b010, Mem: 1},
+			Net:    network.New(network.Msg{Type: msi.MsgData, Src: 0, Dst: 1, Req: -1, Cnt: 2, Val: 1}),
+			Ghost:  1,
+		}
+	}
+	ref := base().AppendKey(nil)
+	mutations := map[string]func(*msi.State){
+		"cache state": func(s *msi.State) { s.Caches[2].St = msi.CacheISD },
+		"cache data":  func(s *msi.State) { s.Caches[0].Data = 0 },
+		"cache acks":  func(s *msi.State) { s.Caches[1].Acks = 1 },
+		"dir state":   func(s *msi.State) { s.Dir.St = msi.DirMS },
+		"dir owner":   func(s *msi.State) { s.Dir.Owner = 2 },
+		"dir pending": func(s *msi.State) { s.Dir.Pending = 1 },
+		"dir sharers": func(s *msi.State) { s.Dir.Sharers = 0b011 },
+		"dir mem":     func(s *msi.State) { s.Dir.Mem = 0 },
+		"ghost":       func(s *msi.State) { s.Ghost = 0 },
+		"err":         func(s *msi.State) { s.Err = "boom" },
+		"msg type":    func(s *msi.State) { s.Net = network.New(network.Msg{Type: msi.MsgInv, Src: 0, Dst: 1, Req: -1, Cnt: 2, Val: 1}) },
+		"msg cnt":     func(s *msi.State) { s.Net = network.New(network.Msg{Type: msi.MsgData, Src: 0, Dst: 1, Req: -1, Cnt: 1, Val: 1}) },
+		"msg extra":   func(s *msi.State) { s.Net = s.Net.Send(network.Msg{Type: msi.MsgAck, Src: 1, Dst: 3, Req: -1}) },
+	}
+	for name, mutate := range mutations {
+		s := base()
+		mutate(s)
+		if bytes.Equal(s.AppendKey(nil), ref) {
+			t.Errorf("%s: mutation not visible in AppendKey", name)
+		}
+	}
+}
+
+// TestPermuteIntoMatchesPermute drives randomized states through every
+// permutation twice — once through the allocating Permute, once through
+// PermuteInto reusing one scratch state across all calls — and requires
+// identical keys and encodings, with the source state untouched.
+func TestPermuteIntoMatchesPermute(t *testing.T) {
+	perms := symmetry.Permutations(3)
+	var scratchState ts.State
+	for seed := 0; seed < 64; seed++ {
+		s := stateFromBytes([]byte{byte(seed), byte(seed * 7), byte(seed * 131), byte(seed * 29),
+			byte(seed * 3), byte(seed * 17), byte(seed * 61), byte(seed * 211), byte(seed * 5)})
+		if scratchState == nil {
+			scratchState = s.Scratch()
+		}
+		before := s.Key()
+		for _, perm := range perms {
+			want := s.Permute(perm)
+			s.PermuteInto(scratchState, perm)
+			if got, w := scratchState.Key(), want.Key(); got != w {
+				t.Fatalf("seed %d perm %v: PermuteInto key %q, Permute key %q", seed, perm, got, w)
+			}
+			gotEnc := scratchState.(ts.KeyAppender).AppendKey(nil)
+			wantEnc := want.(ts.KeyAppender).AppendKey(nil)
+			if !bytes.Equal(gotEnc, wantEnc) {
+				t.Fatalf("seed %d perm %v: encodings diverge", seed, perm)
+			}
+		}
+		if s.Key() != before {
+			t.Fatalf("seed %d: PermuteInto mutated its source (key %q -> %q)", seed, before, s.Key())
+		}
+	}
+}
+
+// TestScratchIsPrivate pins why Scratch exists at all: Clone shares the
+// network's message storage (immutable value semantics), so permuting into
+// a Clone would corrupt the source; permuting into a Scratch must not.
+func TestScratchIsPrivate(t *testing.T) {
+	s := stateFromBytes([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 22, 33, 44, 55, 66, 77})
+	if s.Net.Len() == 0 {
+		t.Fatal("test state needs in-flight messages")
+	}
+	before := s.Key()
+	dst := s.Scratch()
+	s.PermuteInto(dst, []int{2, 0, 1})
+	s.PermuteInto(dst, []int{1, 2, 0})
+	if s.Key() != before {
+		t.Fatalf("PermuteInto through Scratch corrupted the source: %q -> %q", before, s.Key())
+	}
+}

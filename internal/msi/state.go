@@ -34,6 +34,7 @@
 package msi
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -154,6 +155,24 @@ func (s *State) Key() string {
 	return b.String()
 }
 
+// AppendKey implements ts.KeyAppender: the binary sibling of Key. Every
+// agent-indexed and protocol field is emitted fixed-width (one byte per
+// int8-ranged field, cache count prefixed), the network as its
+// count-prefixed message encoding, and the error string length-prefixed —
+// all self-delimiting, so the encoding is injective on field values
+// wherever Key is injective.
+func (s *State) AppendKey(dst []byte) []byte {
+	dst = append(dst, byte(len(s.Caches)))
+	for _, c := range s.Caches {
+		dst = append(dst, byte(c.St), byte(c.Data), byte(c.Acks))
+	}
+	dst = append(dst, byte(s.Dir.St), byte(s.Dir.Owner), byte(s.Dir.Pending), s.Dir.Sharers, byte(s.Dir.Mem), byte(s.Ghost))
+	dst = s.Net.AppendKey(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Err)))
+	dst = append(dst, s.Err...)
+	return dst
+}
+
 // Clone implements ts.State.
 func (s *State) Clone() ts.State {
 	cp := &State{
@@ -171,35 +190,60 @@ func (s *State) NumAgents() int { return len(s.Caches) }
 
 // Permute implements ts.Permutable: cache i is renamed to perm[i]
 // everywhere an agent index occurs (cache array slot, directory owner /
-// pending / sharers, message Src/Dst/Req).
+// pending / sharers, message Src/Dst/Req). It is PermuteInto against a
+// fresh destination, so the renaming logic lives in exactly one place.
 func (s *State) Permute(perm []int) ts.State {
-	n := len(s.Caches)
-	cp := &State{
-		Caches: make([]Cache, n),
+	cp := s.Scratch()
+	s.PermuteInto(cp, perm)
+	return cp
+}
+
+// Scratch implements ts.InPlacePermuter: a fully private deep copy usable
+// as a PermuteInto destination. Clone is not enough here — it shares the
+// network's message slice under the Net's immutable value semantics, and
+// PermuteInto overwrites that slice in place.
+func (s *State) Scratch() ts.State {
+	return &State{
+		Caches: append([]Cache(nil), s.Caches...),
 		Dir:    s.Dir,
+		Net:    s.Net.Copy(),
 		Ghost:  s.Ghost,
 		Err:    s.Err,
 	}
-	for i, c := range s.Caches {
-		cp.Caches[perm[i]] = c
+}
+
+// PermuteInto implements ts.InPlacePermuter: Permute's result written into
+// dst — a *State from Scratch — reusing its cache array and network
+// message storage, so the symmetry canonicalizer's N!−1 permutations per
+// state allocate nothing in steady state.
+func (s *State) PermuteInto(dst ts.State, perm []int) {
+	d := dst.(*State)
+	n := len(s.Caches)
+	if len(d.Caches) != n {
+		d.Caches = make([]Cache, n)
 	}
+	for i, c := range s.Caches {
+		d.Caches[perm[i]] = c
+	}
+	d.Dir = s.Dir
 	permAgent := func(a int8) int8 {
 		if a >= 0 && int(a) < n {
 			return int8(perm[a])
 		}
 		return a
 	}
-	cp.Dir.Owner = permAgent(s.Dir.Owner)
-	cp.Dir.Pending = permAgent(s.Dir.Pending)
+	d.Dir.Owner = permAgent(s.Dir.Owner)
+	d.Dir.Pending = permAgent(s.Dir.Pending)
 	var sh uint8
 	for i := 0; i < n; i++ {
 		if s.Dir.Sharers&(1<<uint(i)) != 0 {
 			sh |= 1 << uint(perm[i])
 		}
 	}
-	cp.Dir.Sharers = sh
-	cp.Net = s.Net.Permute(perm, n)
-	return cp
+	d.Dir.Sharers = sh
+	d.Ghost = s.Ghost
+	d.Err = s.Err
+	s.Net.PermuteInto(&d.Net, perm, n)
 }
 
 // String renders the state for traces.

@@ -67,25 +67,51 @@ func (s *State) Key() string {
 	return fmt.Sprintf("%d%d%d%d%d%d", s.PCs[0], s.PCs[1], b(s.Flag[0]), b(s.Flag[1]), s.Turn+1, b(s.VisitedCrit))
 }
 
+// AppendKey implements ts.KeyAppender: the six key digits as six raw
+// bytes (Turn stored as Turn+1 exactly like Key, so None encodes as 0).
+func (s *State) AppendKey(dst []byte) []byte {
+	b := func(v bool) byte {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return append(dst, byte(s.PCs[0]), byte(s.PCs[1]), b(s.Flag[0]), b(s.Flag[1]), byte(s.Turn+1), b(s.VisitedCrit))
+}
+
 // Clone implements ts.State.
 func (s *State) Clone() ts.State {
 	cp := *s
 	return &cp
 }
 
+// Scratch implements ts.InPlacePermuter. The state is a flat value — Clone
+// is already fully private.
+func (s *State) Scratch() ts.State { return s.Clone() }
+
+// PermuteInto implements ts.InPlacePermuter: Permute's result written into
+// dst without allocating.
+func (s *State) PermuteInto(dst ts.State, perm []int) {
+	d := dst.(*State)
+	d.VisitedCrit = s.VisitedCrit
+	for i := 0; i < 2; i++ {
+		d.PCs[perm[i]] = s.PCs[i]
+		d.Flag[perm[i]] = s.Flag[i]
+	}
+	d.Turn = s.Turn
+	if s.Turn >= 0 {
+		d.Turn = int8(perm[s.Turn])
+	}
+}
+
 // NumAgents implements ts.Permutable.
 func (s *State) NumAgents() int { return 2 }
 
-// Permute implements ts.Permutable.
+// Permute implements ts.Permutable: PermuteInto against a fresh
+// destination, so the renaming logic lives in exactly one place.
 func (s *State) Permute(perm []int) ts.State {
-	cp := &State{Turn: s.Turn, VisitedCrit: s.VisitedCrit}
-	for i := 0; i < 2; i++ {
-		cp.PCs[perm[i]] = s.PCs[i]
-		cp.Flag[perm[i]] = s.Flag[i]
-	}
-	if s.Turn >= 0 {
-		cp.Turn = int8(perm[s.Turn])
-	}
+	cp := s.Scratch()
+	s.PermuteInto(cp, perm)
 	return cp
 }
 

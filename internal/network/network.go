@@ -7,6 +7,7 @@
 package network
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,6 +34,22 @@ type Msg struct {
 // Key returns the canonical encoding of the message.
 func (m Msg) Key() string {
 	return fmt.Sprintf("%s,%d,%d,%d,%d,%d", m.Type, m.Src, m.Dst, m.Req, m.Cnt, m.Val)
+}
+
+// AppendKey appends the message's compact binary encoding to dst: the type
+// string length-prefixed (uvarint), then the five integer fields as zigzag
+// varints. Every component is self-delimiting, so the encoding is injective
+// on the raw field values — strictly stronger than Key, whose comma-joined
+// rendering could in principle collide for adversarial Type strings.
+func (m Msg) AppendKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.Type)))
+	dst = append(dst, m.Type...)
+	dst = binary.AppendVarint(dst, int64(m.Src))
+	dst = binary.AppendVarint(dst, int64(m.Dst))
+	dst = binary.AppendVarint(dst, int64(m.Req))
+	dst = binary.AppendVarint(dst, int64(m.Cnt))
+	dst = binary.AppendVarint(dst, int64(m.Val))
+	return dst
 }
 
 // String renders the message for traces.
@@ -161,12 +178,46 @@ func (n Net) Key() string {
 	return b.String()
 }
 
+// AppendKey appends the network's compact binary encoding to dst: a uvarint
+// message count followed by each message's encoding in canonical order.
+// The count prefix plus self-delimiting message encodings make the whole
+// encoding injective on message multisets.
+func (n Net) AppendKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(n.msgs)))
+	for _, m := range n.msgs {
+		dst = m.AppendKey(dst)
+	}
+	return dst
+}
+
+// Copy returns a Net with private message storage. Net values returned by
+// Send/Remove/Permute may be shared freely (immutable value semantics), but
+// a Net used as a PermuteInto destination is overwritten in place and must
+// own its slice — that is the only place Copy is needed.
+func (n Net) Copy() Net {
+	return Net{msgs: append([]Msg(nil), n.msgs...)}
+}
+
 // Permute returns a copy of n with every agent index a in [0, numAgents)
 // renamed to perm[a] in Src, Dst and Req (indices outside that range, e.g.
-// the directory, are fixed points), re-canonicalized.
+// the directory, are fixed points), re-canonicalized. It is PermuteInto
+// against a fresh destination, so the renaming logic lives in one place.
 func (n Net) Permute(perm []int, numAgents int) Net {
-	out := make([]Msg, len(n.msgs))
-	for i, m := range n.msgs {
+	out := Net{msgs: make([]Msg, 0, len(n.msgs))}
+	n.PermuteInto(&out, perm, numAgents)
+	return out
+}
+
+// PermuteInto writes the same result Permute would return into dst,
+// reusing dst's message slice (growing it only when capacity falls short).
+// dst must own its storage — it must originate from Copy (or a prior
+// PermuteInto chain rooted at one), never from a shared Net value, because
+// its backing array is overwritten. The receiver is not modified. Sorting
+// is an in-place insertion sort: protocol networks hold a handful of
+// in-flight messages, and unlike sort.Slice it does not allocate.
+func (n Net) PermuteInto(dst *Net, perm []int, numAgents int) {
+	out := dst.msgs[:0]
+	for _, m := range n.msgs {
 		if m.Src >= 0 && m.Src < numAgents {
 			m.Src = perm[m.Src]
 		}
@@ -176,10 +227,14 @@ func (n Net) Permute(perm []int, numAgents int) Net {
 		if m.Req >= 0 && m.Req < numAgents {
 			m.Req = perm[m.Req]
 		}
-		out[i] = m
+		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
-	return Net{msgs: out}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	dst.msgs = out
 }
 
 // String renders the network for traces.

@@ -7,6 +7,62 @@ import (
 	"verc3/internal/statespace"
 )
 
+// TestOfBytesMatchesOfString pins the contract the keying pipeline rests
+// on: the binary appender path (OfBytes over an encoding buffer) and the
+// string path (OfString) hash identical content to identical fingerprints,
+// so switching a model to ts.KeyAppender can never change dedupe results
+// for the same encoded bytes.
+func TestOfBytesMatchesOfString(t *testing.T) {
+	cases := []string{"", "a", "msi|c0:M.1.0|net=[]", string([]byte{0, 255, 0, 1})}
+	for i := 0; i < 100; i++ {
+		cases = append(cases, fmt.Sprintf("state-%d|%b", i*7919, i))
+	}
+	for _, s := range cases {
+		if got, want := statespace.OfBytes([]byte(s)), statespace.OfString(s); got != want {
+			t.Errorf("OfBytes(%q) = %x, OfString = %x", s, got, want)
+		}
+	}
+}
+
+// TestHasherIncremental checks that any split of the input across
+// Add/AddByte/AddString calls yields the one-shot fingerprint.
+func TestHasherIncremental(t *testing.T) {
+	content := "c0:M dir:{owner=1} net=[Data@2]"
+	want := statespace.OfString(content)
+
+	h := statespace.NewHasher()
+	h.AddString(content)
+	if got := h.Sum(); got != want {
+		t.Errorf("AddString whole: %x, want %x", got, want)
+	}
+
+	h = statespace.NewHasher()
+	for i := 0; i < len(content); i++ {
+		h.AddByte(content[i])
+	}
+	if got := h.Sum(); got != want {
+		t.Errorf("AddByte-wise: %x, want %x", got, want)
+	}
+
+	for split := 0; split <= len(content); split++ {
+		h = statespace.NewHasher()
+		h.Add([]byte(content[:split]))
+		h.AddString(content[split:])
+		if got := h.Sum(); got != want {
+			t.Errorf("split at %d: %x, want %x", split, got, want)
+		}
+	}
+
+	// Sum is a read: feeding more content afterwards keeps accumulating.
+	h = statespace.NewHasher()
+	h.AddString(content[:3])
+	_ = h.Sum()
+	h.AddString(content[3:])
+	if got := h.Sum(); got != want {
+		t.Errorf("Sum mid-stream disturbed the state: %x, want %x", got, want)
+	}
+}
+
 // TestFingerprintDeterministicAndDistinct checks OfString is stable and
 // collision-free over a realistic population of state keys.
 func TestFingerprintDeterministicAndDistinct(t *testing.T) {

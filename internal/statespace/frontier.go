@@ -9,9 +9,13 @@ import (
 //
 // expand is called once per item; successors belonging to the next level
 // are handed to emit, which appends to a worker-local slice (no locking on
-// the emission path). expand returns stop=true to end exploration early
-// (property violation, state cap) or a non-nil error to abort the whole
-// search; either ends the level without processing the remaining items.
+// the emission path). worker is the index of the executing worker in
+// [0, workers): it is stable for the goroutine making the call, so callers
+// hang per-worker scratch (key buffers, canonicalization state) off it
+// instead of sharing or locking. expand returns stop=true to end
+// exploration early (property violation, state cap) or a non-nil error to
+// abort the whole search; either ends the level without processing the
+// remaining items.
 //
 // ExpandLevel returns the concatenated next level, whether a stop was
 // requested, and the first error observed. The order of the returned items
@@ -19,15 +23,15 @@ import (
 // level-synchronous structure guarantees BFS depth semantics regardless.
 //
 // workers <= 1 (or a single-item level) runs inline on the calling
-// goroutine, in item order, with zero scheduling overhead.
-func ExpandLevel[T any](workers int, level []T, expand func(item T, emit func(T)) (stop bool, err error)) (next []T, stopped bool, err error) {
+// goroutine, in item order (worker index 0), with zero scheduling overhead.
+func ExpandLevel[T any](workers int, level []T, expand func(worker int, item T, emit func(T)) (stop bool, err error)) (next []T, stopped bool, err error) {
 	if workers > len(level) {
 		workers = len(level)
 	}
 	if workers <= 1 {
 		emit := func(t T) { next = append(next, t) }
 		for _, it := range level {
-			stop, err := expand(it, emit)
+			stop, err := expand(0, it, emit)
 			if err != nil {
 				return nil, true, err
 			}
@@ -79,7 +83,7 @@ func ExpandLevel[T any](workers int, level []T, expand func(item T, emit func(T)
 					if stopFlag.Load() {
 						return
 					}
-					stop, err := expand(level[i], emit)
+					stop, err := expand(w, level[i], emit)
 					if err != nil {
 						errOnce.CompareAndSwap(nil, &errBox{err})
 						stopFlag.Store(true)

@@ -12,8 +12,8 @@ import (
 // expandDoubling is a synthetic successor function: item n emits 2n+1 and
 // 2n+2 while below a bound — a binary tree, so every level is exactly the
 // tree level and the union of all levels is 0..bound-1.
-func expandDoubling(bound int) func(int, func(int)) (bool, error) {
-	return func(n int, emit func(int)) (bool, error) {
+func expandDoubling(bound int) func(int, int, func(int)) (bool, error) {
+	return func(_ int, n int, emit func(int)) (bool, error) {
 		for _, c := range []int{2*n + 1, 2*n + 2} {
 			if c < bound {
 				emit(c)
@@ -58,7 +58,7 @@ func TestExpandLevelMatchesSequential(t *testing.T) {
 func TestExpandLevelStop(t *testing.T) {
 	level := make([]int, 10000)
 	var processed atomic.Int64
-	_, stopped, err := statespace.ExpandLevel(4, level, func(int, func(int)) (bool, error) {
+	_, stopped, err := statespace.ExpandLevel(4, level, func(int, int, func(int)) (bool, error) {
 		return processed.Add(1) == 100, nil
 	})
 	if err != nil {
@@ -77,7 +77,7 @@ func TestExpandLevelError(t *testing.T) {
 	boom := errors.New("boom")
 	level := make([]int, 1000)
 	for _, workers := range []int{1, 4} {
-		_, stopped, err := statespace.ExpandLevel(workers, level, func(n int, _ func(int)) (bool, error) {
+		_, stopped, err := statespace.ExpandLevel(workers, level, func(_ int, n int, _ func(int)) (bool, error) {
 			return false, boom
 		})
 		if !errors.Is(err, boom) {
@@ -86,6 +86,41 @@ func TestExpandLevelError(t *testing.T) {
 		if !stopped {
 			t.Errorf("workers=%d: error must imply stopped", workers)
 		}
+	}
+}
+
+// TestExpandLevelWorkerIndex checks the per-worker scratch contract: every
+// expand call carries a worker index in [0, workers), the index is stable
+// for the executing goroutine (two calls with the same index never run
+// concurrently), and the inline path always reports index 0.
+func TestExpandLevelWorkerIndex(t *testing.T) {
+	_, _, err := statespace.ExpandLevel(1, []int{1, 2, 3}, func(w int, _ int, _ func(int)) (bool, error) {
+		if w != 0 {
+			t.Errorf("inline path: worker index %d, want 0", w)
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	level := make([]int, 5000)
+	var busy [workers]atomic.Bool
+	_, _, err = statespace.ExpandLevel(workers, level, func(w int, _ int, _ func(int)) (bool, error) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of range", w)
+			return true, nil
+		}
+		if !busy[w].CompareAndSwap(false, true) {
+			t.Errorf("worker index %d used concurrently — per-worker scratch would race", w)
+			return true, nil
+		}
+		busy[w].Store(false)
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

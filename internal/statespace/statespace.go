@@ -8,11 +8,14 @@
 // by this package's Fingerprint.
 //
 // The package is deliberately independent of the modelling layer (it knows
-// nothing about ts.State): the checker canonicalizes a state to its key
-// string, fingerprints it with OfString, and stores only the fingerprint.
-// Dropping the string keys removes the dominant allocation of the
-// exploration hot path and shrinks the visited set to 8 bytes of payload
-// per state.
+// nothing about ts.State): the checker canonicalizes a state to its
+// canonical encoding — a reusable binary buffer when the state implements
+// ts.KeyAppender, its Key string otherwise — fingerprints it with OfBytes /
+// OfString (the two agree byte-for-byte on the same content), and stores
+// only the fingerprint. Dropping per-state key materialization removes the
+// dominant allocation of the exploration hot path and shrinks the visited
+// set to 8 bytes of payload per state; Hasher additionally supports
+// fingerprinting content that arrives in pieces without concatenating it.
 //
 // Exploration is trace-optional. The frontier (Queue sequentially, the
 // levels of ExpandLevel in parallel) carries states directly and releases
@@ -47,10 +50,58 @@ const (
 
 // OfString fingerprints a canonical state key (FNV-1a, 64-bit).
 func OfString(s string) Fingerprint {
-	h := uint64(fnvOffset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= fnvPrime64
-	}
-	return Fingerprint(h)
+	h := NewHasher()
+	h.AddString(s)
+	return h.Sum()
 }
+
+// OfBytes fingerprints a canonical binary state encoding (FNV-1a, 64-bit).
+// It is the allocation-free sibling of OfString: OfBytes(b) ==
+// OfString(string(b)) for every b, so the appender keying path and the
+// legacy string path hash identical content to identical fingerprints.
+func OfBytes(b []byte) Fingerprint {
+	h := NewHasher()
+	h.Add(b)
+	return h.Sum()
+}
+
+// Hasher is an incremental 64-bit FNV-1a fingerprint accumulator for
+// content that arrives in pieces: feeding it the concatenation of any
+// sequence of Add/AddByte/AddString calls yields exactly OfBytes/OfString
+// of the concatenated content. (The methods are deliberately not the
+// io.Writer family — they return nothing, cannot fail, and must never
+// force a caller through an interface.) The zero value is NOT ready; start
+// from NewHasher (FNV's offset basis is non-zero).
+type Hasher struct{ h uint64 }
+
+// NewHasher returns a Hasher primed with the FNV-1a offset basis.
+func NewHasher() Hasher { return Hasher{h: fnvOffset64} }
+
+// Add folds b into the running fingerprint.
+func (h *Hasher) Add(b []byte) {
+	x := h.h
+	for i := 0; i < len(b); i++ {
+		x ^= uint64(b[i])
+		x *= fnvPrime64
+	}
+	h.h = x
+}
+
+// AddByte folds a single byte into the running fingerprint.
+func (h *Hasher) AddByte(b byte) {
+	h.h = (h.h ^ uint64(b)) * fnvPrime64
+}
+
+// AddString folds s into the running fingerprint.
+func (h *Hasher) AddString(s string) {
+	x := h.h
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnvPrime64
+	}
+	h.h = x
+}
+
+// Sum returns the fingerprint of everything written so far. The hasher
+// remains usable (Sum is a read).
+func (h *Hasher) Sum() Fingerprint { return Fingerprint(h.h) }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package symmetry_test
+
+// raceEnabled reports whether the race detector is active (this variant:
+// no). The zero-allocation assertion is skipped under -race, where
+// sync.Pool deliberately discards a fraction of Puts to widen race
+// coverage, making pooled scratch look like a steady allocator.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package symmetry_test
+
+// raceEnabled reports whether the race detector is active (this variant:
+// yes). See race_off_test.go.
+const raceEnabled = true

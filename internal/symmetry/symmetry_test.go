@@ -1,12 +1,16 @@
 package symmetry_test
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
 
+	"verc3/internal/msi"
+	"verc3/internal/network"
+	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
 	"verc3/internal/ts"
 )
@@ -135,6 +139,161 @@ func TestNegativePanics(t *testing.T) {
 		}
 	}()
 	symmetry.Permutations(-1)
+}
+
+// appendVecState extends vecState with the binary keying capabilities:
+// ts.KeyAppender plus ts.InPlacePermuter.
+type appendVecState struct{ vecState }
+
+func (v *appendVecState) AppendKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v.vals)))
+	for _, val := range v.vals {
+		dst = binary.AppendVarint(dst, int64(val))
+	}
+	return dst
+}
+
+func (v *appendVecState) Clone() ts.State {
+	return &appendVecState{vecState{vals: append([]int(nil), v.vals...)}}
+}
+
+func (v *appendVecState) Permute(perm []int) ts.State {
+	return &appendVecState{*v.vecState.Permute(perm).(*vecState)}
+}
+
+func (v *appendVecState) Scratch() ts.State { return v.Clone() }
+
+func (v *appendVecState) PermuteInto(dst ts.State, perm []int) {
+	d := dst.(*appendVecState)
+	if len(d.vals) != len(v.vals) {
+		d.vals = make([]int, len(v.vals))
+	}
+	for i, val := range v.vals {
+		d.vals[perm[i]] = val
+	}
+}
+
+// TestFingerprintOrbitInvariance is the binary-path soundness property:
+// every member of a symmetry orbit fingerprints identically, and states
+// with different value multisets (distinct orbits) fingerprint apart.
+func TestFingerprintOrbitInvariance(t *testing.T) {
+	c := symmetry.NewCanonicalizer(4)
+	seen := map[statespace.Fingerprint][]int{}
+	for _, vals := range [][]int{
+		{0, 0, 0, 0}, {1, 0, 0, 0}, {1, 1, 0, 0}, {2, 1, 0, 0},
+		{1, 2, 3, 4}, {4, 4, 4, 1}, {0, 2, 0, 2},
+	} {
+		s := &appendVecState{vecState{vals: vals}}
+		want := c.Fingerprint(s)
+		for _, p := range symmetry.Permutations(4) {
+			if got := c.Fingerprint(s.Permute(p).(*appendVecState)); got != want {
+				t.Fatalf("vals=%v perm=%v: fingerprint %x, want %x", vals, p, got, want)
+			}
+		}
+		if prev, dup := seen[want]; dup {
+			t.Fatalf("distinct multisets %v and %v share fingerprint %x", prev, vals, want)
+		}
+		seen[want] = vals
+	}
+}
+
+// TestFingerprintPermutableWithoutInPlace checks the middle tier: a state
+// with AppendKey but only plain Permute still canonicalizes correctly (it
+// pays a clone per permutation, but the result is orbit-invariant).
+func TestFingerprintPermutableWithoutInPlace(t *testing.T) {
+	c := symmetry.NewCanonicalizer(3)
+	s := &permOnlyVecState{vecState{vals: []int{2, 0, 1}}}
+	want := c.Fingerprint(s)
+	for _, p := range symmetry.Permutations(3) {
+		if got := c.Fingerprint(s.Permute(p).(*permOnlyVecState)); got != want {
+			t.Fatalf("perm %v: fingerprint %x, want %x", p, got, want)
+		}
+	}
+}
+
+// permOnlyVecState has an appender but no InPlacePermuter.
+type permOnlyVecState struct{ vecState }
+
+func (v *permOnlyVecState) AppendKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v.vals)))
+	for _, val := range v.vals {
+		dst = binary.AppendVarint(dst, int64(val))
+	}
+	return dst
+}
+
+func (v *permOnlyVecState) Permute(perm []int) ts.State {
+	return &permOnlyVecState{*v.vecState.Permute(perm).(*vecState)}
+}
+
+// TestFingerprintFallsBackToStringKey checks states without ts.KeyAppender
+// hash exactly what the legacy path hashes: OfString of the canonical Key.
+func TestFingerprintFallsBackToStringKey(t *testing.T) {
+	c := symmetry.NewCanonicalizer(4)
+	s := &vecState{vals: []int{3, 1, 2, 1}}
+	if got, want := c.Fingerprint(s), statespace.OfString(c.Key(s)); got != want {
+		t.Errorf("permutable fallback: %x, want OfString(Key) %x", got, want)
+	}
+	p := plainState{k: "plain"}
+	if got, want := c.Fingerprint(p), statespace.OfString("plain"); got != want {
+		t.Errorf("non-permutable fallback: %x, want %x", got, want)
+	}
+}
+
+// TestFingerprintZeroAlloc pins the tentpole's scratch-state contract on
+// the real case study: canonicalizing an MSI state with in-flight network
+// messages — the workload that used to deep-clone and re-encode N!−1
+// times per offered state — allocates nothing in steady state. A small
+// tolerance absorbs the GC occasionally reclaiming the sync.Pool scratch.
+func TestFingerprintZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool deliberately drops Puts under -race; steady-state allocs are only meaningful without it")
+	}
+	st := &msi.State{
+		Caches: []msi.Cache{{St: msi.CacheM, Data: 1}, {St: msi.CacheISD}, {St: msi.CacheS, Data: 1}},
+		Dir:    msi.Dir{St: msi.DirM, Owner: 0, Pending: msi.None, Sharers: 0b100, Mem: 1},
+		Net: network.New(
+			network.Msg{Type: msi.MsgGetS, Src: 1, Dst: 3, Req: -1, Val: 0},
+			network.Msg{Type: msi.MsgData, Src: 3, Dst: 2, Req: -1, Cnt: 1, Val: 1},
+		),
+		Ghost: 1,
+	}
+	c := symmetry.NewCanonicalizer(3)
+	want := c.Fingerprint(st) // warm the pooled scratch
+	avg := testing.AllocsPerRun(500, func() {
+		if c.Fingerprint(st) != want {
+			t.Fatal("fingerprint not deterministic")
+		}
+	})
+	if avg > 0.1 {
+		t.Errorf("canonical fingerprint allocates %.3f allocs/op in steady state, want ~0", avg)
+	}
+}
+
+// TestFingerprintConcurrent exercises the pooled scratch under the
+// parallel driver's sharing pattern: one canonicalizer, many workers
+// fingerprinting members of the same orbit concurrently. Meaningful under
+// -race (the per-call scratch must never be visible to two workers).
+func TestFingerprintConcurrent(t *testing.T) {
+	c := symmetry.NewCanonicalizer(4)
+	base := &appendVecState{vecState{vals: []int{0, 1, 2, 1}}}
+	want := c.Fingerprint(base)
+	perms := symmetry.Permutations(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := perms[(w*7+i)%len(perms)]
+				if got := c.Fingerprint(base.Permute(p).(*appendVecState)); got != want {
+					t.Errorf("worker %d: fingerprint %x, want %x", w, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // TestCanonicalizerConcurrent exercises the goroutine-safety contract the

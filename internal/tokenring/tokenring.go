@@ -36,6 +36,20 @@ func (r *ring) Key() string {
 	return fmt.Sprintf("%d/%d/%v", r.Holder, r.InCrit, r.EverCrit)
 }
 
+// AppendKey implements ts.KeyAppender: Holder, InCrit (offset so -1 encodes
+// as 0) and the liveness ghosts, one byte each.
+func (r *ring) AppendKey(dst []byte) []byte {
+	dst = append(dst, byte(r.Holder+1), byte(r.InCrit+1))
+	for _, ec := range r.EverCrit {
+		b := byte(0)
+		if ec {
+			b = 1
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
 func (r *ring) Clone() ts.State { cp := *r; return &cp }
 
 // New assembles the system; sketch leaves the two actions as holes.

@@ -11,6 +11,7 @@
 package toy
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
@@ -51,6 +52,11 @@ type state struct {
 
 // Key implements ts.State.
 func (s state) Key() string { return fmt.Sprintf("n%d", s.id) }
+
+// AppendKey implements ts.KeyAppender: the node index as a varint.
+func (s state) AppendKey(dst []byte) []byte {
+	return binary.AppendVarint(dst, int64(s.id))
+}
 
 // Clone implements ts.State.
 func (s state) Clone() ts.State { return s }

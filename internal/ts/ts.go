@@ -12,6 +12,15 @@
 // States are explicit: every state must be able to produce a canonical
 // encoding of itself (Key) used by the model checker for visited-set
 // deduplication, and a deep copy (Clone) so rule actions can mutate freely.
+//
+// Keying has two tiers. Key() string is the mandatory, human-readable
+// canonical encoding — it is what counterexample traces show and what the
+// checker falls back to. States that additionally implement KeyAppender
+// provide a compact binary encoding appended into a caller-owned buffer,
+// which is what the exploration hot path fingerprints: no string is ever
+// materialized per visited state. Symmetric states can further implement
+// InPlacePermuter so the symmetry canonicalizer permutes into reusable
+// scratch instead of deep-cloning once per permutation.
 package ts
 
 import "errors"
@@ -36,6 +45,27 @@ type State interface {
 	Clone() State
 }
 
+// KeyAppender is optionally implemented by states that can encode themselves
+// in binary without allocating. AppendKey appends a compact encoding of the
+// state to dst and returns the extended buffer, exactly like
+// strconv.AppendInt grows its destination: the caller owns the buffer and
+// reuses it across states, so the exploration hot path fingerprints states
+// with zero per-state allocations (see statespace.OfBytes).
+//
+// The encoding must satisfy the same contract as Key, restated in binary:
+// deterministic, and injective wherever Key is — two states with distinct
+// Key() strings must produce distinct appended byte sequences. (Equality
+// the other way — equal keys yielding equal encodings — holds for every
+// model in this repo; self-delimiting encodings are in fact injective on
+// raw field values even where a delimiter-based Key string would collide.)
+// The appended bytes need not be printable and need not resemble Key.
+type KeyAppender interface {
+	// AppendKey appends the state's binary encoding to dst and returns the
+	// extended slice. It must not retain dst and must not allocate beyond
+	// growing dst.
+	AppendKey(dst []byte) []byte
+}
+
 // Permutable is implemented by states containing scalarset-like symmetric
 // agent identifiers (e.g. cache IDs). Permute returns a copy of the state
 // with every agent index i renamed to perm[i]. The model checker uses this
@@ -48,6 +78,29 @@ type Permutable interface {
 	// Permute returns a fresh state with agent identities renamed by perm,
 	// which is a bijection on [0, NumAgents()).
 	Permute(perm []int) State
+}
+
+// InPlacePermuter is optionally implemented by Permutable states that can
+// write a permutation into reusable scratch storage instead of allocating a
+// fresh deep copy per permutation. The symmetry canonicalizer visits N!−1
+// non-identity permutations per offered state, so with plain Permute the
+// clone is the dominant allocation of a symmetry-reduced exploration; with
+// PermuteInto the canonicalizer keeps one scratch state per worker and
+// mutates it in place.
+type InPlacePermuter interface {
+	Permutable
+	// Scratch returns a fully private deep copy of the receiver for use as
+	// a PermuteInto destination. Unlike Clone — which may share structure
+	// the model treats as immutable (e.g. a copy-on-write message multiset)
+	// — the result must share no storage at all with the receiver, because
+	// PermuteInto overwrites it in place.
+	Scratch() State
+	// PermuteInto writes into dst the same state Permute(perm) would
+	// return. dst must come from Scratch of a state of the same system
+	// (same scalarset size and shape); its previous contents are fully
+	// overwritten. Implementations reuse dst's storage and must not
+	// allocate beyond amortized growth of dst's internal slices.
+	PermuteInto(dst State, perm []int)
 }
 
 // Env is the execution environment a transition fires in. It is the bridge
