@@ -1,0 +1,138 @@
+// Command verc3-bench runs the headline exploration benchmarks in-process
+// (via testing.Benchmark) and writes the results as machine-readable JSON,
+// so CI can archive per-commit performance without parsing `go test -bench`
+// text output. Each entry records ns/op, B/op, allocs/op and the derived
+// states/sec throughput of the complete-MSI exploration that benchmark runs.
+//
+// The rows are the E15 successor-lifecycle ablation (recycling ×
+// enumeration path) plus the sequential/parallel driver pair — the numbers
+// DESIGN.md and EXPERIMENTS.md quote.
+//
+// Usage:
+//
+//	verc3-bench [-o BENCH_explore.json] [-caches 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"verc3/internal/mc"
+	"verc3/internal/msi"
+)
+
+// result is one benchmark's JSON entry.
+type result struct {
+	NsPerOp      float64 `json:"ns/op"`
+	BytesPerOp   int64   `json:"B/op"`
+	AllocsPerOp  int64   `json:"allocs/op"`
+	States       int     `json:"states"`
+	StatesPerSec float64 `json:"states/sec"`
+}
+
+// output is the whole BENCH_explore.json document.
+type output struct {
+	GoVersion  string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Caches     int               `json:"caches"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// exploreOnce model-checks the complete MSI protocol and returns the state
+// count (every benchmark below explores the same space, so the count is
+// also the per-op denominator for states/sec). The caller owns sys and
+// reuses it across iterations, so the successor pool and name tables stay
+// warm — the same regime as the synthesis inner loop.
+func exploreOnce(sys *msi.System, opt mc.Options) (int, error) {
+	res, err := mc.Check(sys, opt)
+	if err != nil {
+		return 0, err
+	}
+	if res.Verdict != mc.Success {
+		return 0, fmt.Errorf("verdict = %v", res.Verdict)
+	}
+	return res.Stats.VisitedStates, nil
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "BENCH_explore.json", "output file (\"-\" = stdout)")
+		caches = flag.Int("caches", 3, "MSI cache count for every benchmark")
+	)
+	flag.Parse()
+
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		// Keep the parallel row the parallel driver even on one core, same
+		// as the root suite's parallelWorkers.
+		parallel = 2
+	}
+	rows := []struct {
+		name string
+		opt  mc.Options
+	}{
+		{"LifecycleFull", mc.Options{Symmetry: true}},
+		{"LifecycleNoRecycle", mc.Options{Symmetry: true, NoRecycle: true}},
+		{"LifecycleFreshEnum", mc.Options{Symmetry: true, FreshTransitions: true}},
+		{"LifecycleOff", mc.Options{Symmetry: true, NoRecycle: true, FreshTransitions: true}},
+		{"ExploreSequential", mc.Options{Symmetry: true}},
+		{"ExploreParallel", mc.Options{Symmetry: true, Workers: parallel}},
+	}
+
+	doc := output{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Caches:     *caches,
+		Benchmarks: make(map[string]result, len(rows)),
+	}
+	for _, r := range rows {
+		sys := msi.New(msi.Config{Caches: *caches, Variant: msi.Complete})
+		states, err := exploreOnce(sys, r.opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verc3-bench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		opt := r.opt
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exploreOnce(sys, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(br.NsPerOp())
+		doc.Benchmarks[r.name] = result{
+			NsPerOp:      ns,
+			BytesPerOp:   br.AllocedBytesPerOp(),
+			AllocsPerOp:  br.AllocsPerOp(),
+			States:       states,
+			StatesPerSec: float64(states) / (ns / 1e9),
+		}
+		fmt.Fprintf(os.Stderr, "%-20s %12.0f ns/op %10d B/op %8d allocs/op %10.0f states/sec\n",
+			r.name, ns, br.AllocedBytesPerOp(), br.AllocsPerOp(), float64(states)/(ns/1e9))
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -67,6 +67,8 @@ func main() {
 		BitstateMB: *bitstateM,
 		SpillMem:   int64(*spillMB) << 20,
 		SpillDir:   *spillDir,
+		// Phase labels only when profiling (see verc3-verify).
+		ProfileLabels: *cpuProf != "",
 	}
 	res, err := core.Synthesize(g, core.Config{
 		Mode: core.ModePrune,

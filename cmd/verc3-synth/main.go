@@ -68,8 +68,8 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := core.Config{
-		Workers:        *workers,
-		MCWorkers:      *mcWorkers,
+		Workers:   *workers,
+		MCWorkers: *mcWorkers,
 		MC: mc.Options{
 			Symmetry:   *symmetry,
 			MemStats:   *stats,
@@ -77,6 +77,9 @@ func main() {
 			BitstateMB: *bitstateM,
 			SpillMem:   int64(*spillMB) << 20,
 			SpillDir:   *spillDir,
+			// Phase labels only when profiling: they cost a goroutine-label
+			// store per driver phase switch.
+			ProfileLabels: *cpuProf != "",
 		},
 		MaxEvaluations: *maxEval,
 	}

@@ -105,9 +105,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running %-34s ... ", r.name)
 		start := time.Now()
 		res, err := core.Synthesize(sys, core.Config{
-			Mode:           r.mode,
-			Workers:        r.workers,
-			MCWorkers:      *mcWorkers,
+			Mode:      r.mode,
+			Workers:   r.workers,
+			MCWorkers: *mcWorkers,
 			MC: mc.Options{
 				Symmetry:   true,
 				MemStats:   *stats,
@@ -115,6 +115,8 @@ func main() {
 				BitstateMB: *bitstateM,
 				SpillMem:   int64(*spillMB) << 20,
 				SpillDir:   *spillDir,
+				// Phase labels only when profiling (see verc3-verify).
+				ProfileLabels: *cpuProf != "",
 			},
 			MaxEvaluations: r.truncate,
 		})

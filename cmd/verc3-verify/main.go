@@ -6,8 +6,8 @@
 // Usage:
 //
 //	verc3-verify -system msi-complete [-caches 3] [-symmetry=false] [-states]
-//	             [-dfs] [-workers N] [-shard-bits B] [-no-trace] [-stats]
-//	             [-visited flat|map|bitstate|spill] [-bitstate-mb N]
+//	             [-dfs] [-workers N] [-shard-bits B] [-no-trace] [-no-recycle]
+//	             [-stats] [-visited flat|map|bitstate|spill] [-bitstate-mb N]
 //	             [-spill-mem-mb N] [-spill-dir DIR]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 package main
@@ -38,6 +38,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS, <=1 = sequential)")
 		shardBits = flag.Int("shard-bits", 0, "log2 shards of the parallel visited set (0 = default)")
 		noTrace   = flag.Bool("no-trace", false, "skip trace recording (fingerprint-only memory; failures carry no counterexample)")
+		noRecycle = flag.Bool("no-recycle", false, "disable successor recycling (fresh clone per transition; ablation knob)")
 		stats     = flag.Bool("stats", false, "print the exploration memory profile (peak frontier, trace store, allocations)")
 		visitedF  = flag.String("visited", "flat", "visited-set backend: flat (open addressing), map, bitstate (lossy, fixed memory), or spill (exact, RAM-bounded, overflows to disk)")
 		bitstateM = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (0 = default 64; -visited bitstate only)")
@@ -94,10 +95,15 @@ func main() {
 		Workers:     *workers,
 		ShardBits:   *shardBits,
 		MemStats:    *stats,
-		Visited:     backend,
-		BitstateMB:  *bitstateM,
-		SpillMem:    int64(*spillMB) << 20,
-		SpillDir:    *spillDir,
+		NoRecycle:   *noRecycle,
+		// Label driver phases (enumerate/fire/key/insert) only when a CPU
+		// profile is being taken; the labels cost a goroutine-label store
+		// per phase switch.
+		ProfileLabels: *cpuProf != "",
+		Visited:       backend,
+		BitstateMB:    *bitstateM,
+		SpillMem:      int64(*spillMB) << 20,
+		SpillDir:      *spillDir,
 	}
 	if *dfs {
 		opt.Order = mc.DFS

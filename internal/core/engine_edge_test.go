@@ -140,6 +140,14 @@ func (h *hostileSystem) Transitions(s ts.State) []ts.Transition {
 	}}
 }
 
+// AppendTransitions keeps the override effective: the embedded toy.Graph
+// implements ts.TransitionAppender, and the checker prefers that path, so a
+// wrapper overriding Transitions must override the appender too (see the
+// ts.TransitionAppender docs).
+func (h *hostileSystem) AppendTransitions(dst []ts.Transition, s ts.State) []ts.Transition {
+	return append(dst, h.Transitions(s)...)
+}
+
 func TestInconsistentHoleArityFails(t *testing.T) {
 	h := &hostileSystem{Graph: toy.Graph{
 		SysName: "hostile", Init: []int{0, 1},

@@ -25,10 +25,20 @@
 // ts.Permutable / ts.InPlacePermuter keeps (scratch-state) symmetry
 // reduction, with no declaration on the Builder (internal/tokenring's ring
 // implements KeyAppender this way).
+//
+// The successor lifecycle passes through the same way: when S implements
+// ts.StateCopier, built systems implement ts.Recycler — rule actions fire on
+// clones drawn from a pool of recycled states — and ts.PoolReporter; when it
+// does not, Recycle quietly drops states and every clone is fresh. Built
+// systems always implement ts.TransitionAppender; Rule and RuleSet names are
+// formatted once at registration, while Choice names are formatted per
+// expansion (the alternative set is data-dependent and unbounded).
 package dsl
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"verc3/internal/ts"
 )
@@ -47,11 +57,16 @@ type Builder[S Mutable] struct {
 	invs    []ts.Invariant
 	goals   []ts.ReachGoal
 	quiet   func(S) bool
+
+	// Successor pool, used only when S implements ts.StateCopier (poolable).
+	poolable bool
+	pool     sync.Pool
+	hits     atomic.Uint64
+	misses   atomic.Uint64
 }
 
 type rule[S Mutable] struct {
-	name   func(s S) []string // instance names for enabled instances
-	expand func(s S) []ts.Transition
+	appendTo func(dst []ts.Transition, s S) []ts.Transition
 }
 
 // NewBuilder starts a system with one or more initial states.
@@ -60,14 +75,26 @@ func NewBuilder[S Mutable](name string, initial ...S) *Builder[S] {
 		panic("dsl: need at least one initial state")
 	}
 	b := &Builder[S]{name: name}
+	var zero S
+	_, b.poolable = any(zero).(ts.StateCopier)
 	for _, s := range initial {
 		b.initial = append(b.initial, s)
 	}
 	return b
 }
 
-// clone copies s and asserts the concrete type survives Clone.
-func clone[S Mutable](s S) S {
+// clone copies s for a firing rule, reusing recycled storage when S supports
+// the CopyFrom reuse path, and asserts the concrete type survives Clone.
+func (b *Builder[S]) clone(s S) S {
+	if b.poolable {
+		if v := b.pool.Get(); v != nil {
+			ns := v.(S)
+			any(ns).(ts.StateCopier).CopyFrom(s)
+			b.hits.Add(1)
+			return ns
+		}
+		b.misses.Add(1)
+	}
 	c, ok := s.Clone().(S)
 	if !ok {
 		panic(fmt.Sprintf("dsl: %T.Clone() did not return %T", s, s))
@@ -75,52 +102,65 @@ func clone[S Mutable](s S) S {
 	return c
 }
 
+// recycle returns an aborted branch's clone to the pool.
+func (b *Builder[S]) recycle(s S) {
+	if b.poolable {
+		b.pool.Put(s)
+	}
+}
+
 // Rule adds a guarded command: when guard(s) holds, the action may fire on a
 // clone of s. A nil guard is always enabled.
 func (b *Builder[S]) Rule(name string, guard func(S) bool, action func(S, *ts.Env) error) *Builder[S] {
 	b.rules = append(b.rules, rule[S]{
-		expand: func(s S) []ts.Transition {
+		appendTo: func(dst []ts.Transition, s S) []ts.Transition {
 			if guard != nil && !guard(s) {
-				return nil
+				return dst
 			}
-			return []ts.Transition{{
+			return append(dst, ts.Transition{
 				Name: name,
 				Fire: func(env *ts.Env) (ts.State, error) {
-					ns := clone(s)
+					ns := b.clone(s)
 					if err := action(ns, env); err != nil {
+						b.recycle(ns)
 						return nil, err
 					}
 					return ns, nil
 				},
-			}}
+			})
 		},
 	})
 	return b
 }
 
 // RuleSet adds one rule instance per parameter i in [0, n) — Murphi's
-// ruleset. The name is a fmt pattern receiving i.
+// ruleset. The name is a fmt pattern receiving i; instance names are
+// formatted once here, not per expansion.
 func (b *Builder[S]) RuleSet(n int, name string, guard func(S, int) bool, action func(S, int, *ts.Env) error) *Builder[S] {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf(name, i)
+	}
 	b.rules = append(b.rules, rule[S]{
-		expand: func(s S) []ts.Transition {
-			var out []ts.Transition
+		appendTo: func(dst []ts.Transition, s S) []ts.Transition {
 			for i := 0; i < n; i++ {
 				if guard != nil && !guard(s, i) {
 					continue
 				}
 				i := i
-				out = append(out, ts.Transition{
-					Name: fmt.Sprintf(name, i),
+				dst = append(dst, ts.Transition{
+					Name: names[i],
 					Fire: func(env *ts.Env) (ts.State, error) {
-						ns := clone(s)
+						ns := b.clone(s)
 						if err := action(ns, i, env); err != nil {
+							b.recycle(ns)
 							return nil, err
 						}
 						return ns, nil
 					},
 				})
 			}
-			return out
+			return dst
 		},
 	})
 	return b
@@ -131,22 +171,24 @@ func (b *Builder[S]) RuleSet(n int, name string, guard func(S, int) bool, action
 // enabled(s) returns the live alternatives.
 func (b *Builder[S]) Choice(name string, enabled func(S) []int, action func(S, int, *ts.Env) error) *Builder[S] {
 	b.rules = append(b.rules, rule[S]{
-		expand: func(s S) []ts.Transition {
-			var out []ts.Transition
+		appendTo: func(dst []ts.Transition, s S) []ts.Transition {
+			// Alternatives are data-dependent, so the name is formatted per
+			// enabled instance — the one Sprintf the builder cannot hoist.
 			for _, alt := range enabled(s) {
 				alt := alt
-				out = append(out, ts.Transition{
+				dst = append(dst, ts.Transition{
 					Name: fmt.Sprintf(name, alt),
 					Fire: func(env *ts.Env) (ts.State, error) {
-						ns := clone(s)
+						ns := b.clone(s)
 						if err := action(ns, alt, env); err != nil {
+							b.recycle(ns)
 							return nil, err
 						}
 						return ns, nil
 					},
 				})
 			}
-			return out
+			return dst
 		},
 	})
 	return b
@@ -182,17 +224,46 @@ type built[S Mutable] struct{ b *Builder[S] }
 // Name implements ts.System.
 func (x *built[S]) Name() string { return x.b.name }
 
-// Initial implements ts.System.
-func (x *built[S]) Initial() []ts.State { return x.b.initial }
+// Initial implements ts.System. It clones the builder's canonical initial
+// states: a checker may Recycle an expanded initial state (traceless mode),
+// and handing out the builder's own copies would let pooled reuse mutate
+// them between runs.
+func (x *built[S]) Initial() []ts.State {
+	out := make([]ts.State, len(x.b.initial))
+	for i, s := range x.b.initial {
+		out[i] = s.Clone()
+	}
+	return out
+}
 
 // Transitions implements ts.System.
 func (x *built[S]) Transitions(s ts.State) []ts.Transition {
+	return x.AppendTransitions(nil, s)
+}
+
+// AppendTransitions implements ts.TransitionAppender.
+func (x *built[S]) AppendTransitions(dst []ts.Transition, s ts.State) []ts.Transition {
 	st := s.(S)
-	var out []ts.Transition
 	for _, r := range x.b.rules {
-		out = append(out, r.expand(st)...)
+		dst = r.appendTo(dst, st)
 	}
-	return out
+	return dst
+}
+
+// Recycle implements ts.Recycler: a no-op unless S implements
+// ts.StateCopier, in which case s seeds a future rule-firing clone.
+func (x *built[S]) Recycle(s ts.State) {
+	if !x.b.poolable {
+		return
+	}
+	if st, ok := s.(S); ok {
+		x.b.pool.Put(st)
+	}
+}
+
+// PoolStats implements ts.PoolReporter.
+func (x *built[S]) PoolStats() (hits, misses uint64) {
+	return x.b.hits.Load(), x.b.misses.Load()
 }
 
 // Invariants implements ts.System.

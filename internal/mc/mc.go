@@ -293,6 +293,23 @@ type Options struct {
 	// the flag exists for differential testing and the E14 keying ablation,
 	// not for production use.
 	StringKeys bool
+	// NoRecycle disables the successor-recycling half of the lifecycle
+	// protocol: the checker never hands states back to a ts.Recycler
+	// system, so every Fire clone is built fresh. Exploration results are
+	// identical either way (the zoo recycling-equivalence test pins this);
+	// the flag exists for differential testing and the E15 ablation.
+	NoRecycle bool
+	// FreshTransitions disables the ts.TransitionAppender enumeration path:
+	// transitions are enumerated through plain Transitions (a fresh slice
+	// per expansion) even when the system can append into the checker's
+	// per-worker scratch. For differential testing and the E15 ablation.
+	FreshTransitions bool
+	// ProfileLabels wraps the drivers' inner-loop phases (enumerate / fire
+	// / key / insert) in runtime/pprof goroutine labels so -cpuprofile
+	// output attributes hot-path time by phase. Costs one label switch per
+	// phase transition; leave it off except when profiling (the cmd/ tools
+	// set it alongside -cpuprofile).
+	ProfileLabels bool
 }
 
 // item is one frontier entry of the sequential driver: the state itself
@@ -316,6 +333,13 @@ type checker struct {
 	invs  []ts.Invariant
 	goals []ts.ReachGoal
 	quies ts.QuiescentReporter
+	lc    lifecycle
+	// trsBuf is the transition scratch: on the ts.TransitionAppender path it
+	// is truncated and refilled per expansion, so steady-state enumeration
+	// allocates nothing.
+	trsBuf   []ts.Transition
+	recycled uint64
+	labels   *phaseLabels
 
 	visited  visited.Store
 	traces   *statespace.TraceStore[ts.State]
@@ -327,6 +351,66 @@ type checker struct {
 	admitted int
 
 	res Result
+}
+
+// lifecycle is a driver's handle on the successor lifecycle protocol: the
+// system's recycler accepting dead states (nil when the system does not pool
+// or Options.NoRecycle), the appender enumeration path (nil when absent or
+// Options.FreshTransitions forces plain Transitions), and the pool-traffic
+// baseline so the run reports its own delta of the system's cumulative
+// ts.PoolReporter counters.
+type lifecycle struct {
+	recycler ts.Recycler
+	appender ts.TransitionAppender
+	pool     ts.PoolReporter
+	hits0    uint64
+	misses0  uint64
+}
+
+// newLifecycle resolves sys's lifecycle capabilities under opt.
+func newLifecycle(sys ts.System, opt Options) lifecycle {
+	var lc lifecycle
+	if !opt.NoRecycle {
+		lc.recycler, _ = sys.(ts.Recycler)
+	}
+	if !opt.FreshTransitions {
+		lc.appender, _ = sys.(ts.TransitionAppender)
+	}
+	if pr, ok := sys.(ts.PoolReporter); ok {
+		lc.pool = pr
+		lc.hits0, lc.misses0 = pr.PoolStats()
+	}
+	return lc
+}
+
+// finishPool folds the run's pool traffic into the space profile.
+func (lc *lifecycle) finishPool(space *statespace.Stats, recycled uint64) {
+	space.Recycled = recycled
+	if lc.pool != nil {
+		h, m := lc.pool.PoolStats()
+		space.PoolHits = h - lc.hits0
+		space.PoolMisses = m - lc.misses0
+	}
+}
+
+// recycle hands a dead state back to the system's pool. The caller must own
+// s outright: nothing — trace node, frontier entry, failure info — may still
+// reference it (see the ts package's ownership rules).
+func (c *checker) recycle(s ts.State) {
+	if c.lc.recycler != nil {
+		c.lc.recycler.Recycle(s)
+		c.recycled++
+	}
+}
+
+// enumerate lists the transitions enabled in s, through the appender path
+// into the reusable scratch when the system supports it.
+func (c *checker) enumerate(s ts.State) []ts.Transition {
+	if c.lc.appender != nil {
+		c.trsBuf = c.lc.appender.AppendTransitions(c.trsBuf[:0], s)
+		return c.trsBuf
+	}
+	return c.sys.Transitions(s)
 }
 
 // Check explores the reachable state space of sys under opt.
@@ -360,6 +444,8 @@ func check(sys ts.System, opt Options) (*Result, error) {
 	c := &checker{
 		sys:     sys,
 		opt:     opt,
+		lc:      newLifecycle(sys, opt),
+		labels:  newPhaseLabels(opt),
 		visited: visited.New(visitedConfig(opt)),
 		traces:  statespace.NewTraceStore[ts.State](opt.RecordTrace),
 	}
@@ -374,10 +460,12 @@ func check(sys ts.System, opt Options) (*Result, error) {
 	c.canon = newCanon(sys, opt)
 	c.key = newKeyer(c.canon, opt)
 	err := c.run()
+	c.labels.clear()
 	if err == nil {
 		c.res.Space.Transitions = c.res.Stats.FiredTransitions
 		c.res.Space.PeakFrontier = c.frontier.Peak()
 		c.res.Space.TraceNodes = c.traces.Nodes()
+		c.lc.finishPool(&c.res.Space, c.recycled)
 		fillSpace(&c.res, c.visited, unsafe.Sizeof(item{}), c.traces.NodeBytes())
 	}
 	if cerr := closeStore(c.visited); err == nil {
@@ -517,8 +605,15 @@ func tracePath(n *statespace.TraceNode[ts.State]) []TraceStep {
 
 // enqueue registers s if unseen and returns its frontier item and whether
 // it was fresh. The trace store allocates a node only under RecordTrace.
+// Rejected duplicates are recycled: they were never traced and never
+// enqueued, so the system may reuse their storage immediately — the
+// unconditionally safe recycle point, valid with traces on or off.
 func (c *checker) enqueue(s ts.State, parent *statespace.TraceNode[ts.State], rule string, depth int, mask uint64) (item, bool) {
-	if !c.visited.TryInsert(c.key.fingerprint(s)) {
+	c.labels.key()
+	fp := c.key.fingerprint(s)
+	c.labels.insert()
+	if !c.visited.TryInsert(fp) {
+		c.recycle(s)
 		return item{}, false
 	}
 	c.admitted++
@@ -622,13 +717,15 @@ func (c *checker) run() error {
 // expand fires all transitions of frontier entry it. It reports done=true
 // when a violation stops the search.
 func (c *checker) expand(it item) (done bool, err error) {
-	trs := c.sys.Transitions(it.state)
+	c.labels.enumerate()
+	trs := c.enumerate(it.state)
 	succs := 0
 	blocked := 0
 	for _, tr := range trs {
 		if c.opt.Usage != nil {
 			c.opt.Usage.ResetUsage()
 		}
+		c.labels.fire()
 		next, ferr := tr.Fire(c.opt.Env)
 		if ferr != nil {
 			if errors.Is(ferr, ts.ErrWildcard) {
@@ -652,16 +749,22 @@ func (c *checker) expand(it item) (done bool, err error) {
 			c.frontier.PushBack(child)
 		}
 	}
-	if succs == 0 && !c.opt.NoDeadlock {
-		if blocked > 0 {
-			// All outgoing behaviour hidden behind wildcards: not provably a
-			// deadlock; the Unknown verdict (WildcardHit) covers it.
-			return false, nil
-		}
+	if succs == 0 && !c.opt.NoDeadlock && blocked == 0 {
+		// With blocked > 0 all outgoing behaviour hides behind wildcards:
+		// not provably a deadlock; the Unknown verdict (WildcardHit) covers
+		// it, and the expansion completes normally below.
 		if c.quies == nil || !c.quies.Quiescent(it.state) {
 			c.fail(FailDeadlock, "deadlock", it.node, it.mask)
 			return true, nil
 		}
+	}
+	// Normal completion. In traceless mode nothing outlives the expansion —
+	// no trace node was ever allocated for it.state, its frontier entry was
+	// popped, and the fired closures are dead — so the expanded state itself
+	// returns to the pool. With traces on it is retained by its trace node
+	// and must escape the pool forever.
+	if !c.opt.RecordTrace {
+		c.recycle(it.state)
 	}
 	return false, nil
 }

@@ -39,13 +39,16 @@ type pchecker struct {
 	sys   ts.System
 	opt   Options
 	canon *symmetry.Canonicalizer
-	// keyers is the per-worker fingerprinting scratch, indexed by the
-	// ExpandLevel worker index — each worker owns its encoding buffer
-	// outright, so the keying hot path is allocation- and lock-free.
-	keyers []keyer
-	invs   []ts.Invariant
-	goals  []ts.ReachGoal
-	quies  ts.QuiescentReporter
+	// workers is the per-worker scratch, indexed by the ExpandLevel worker
+	// index — each worker owns its encoding and transition buffers
+	// outright, so the keying and enumeration hot paths are allocation- and
+	// lock-free.
+	workers []pworker
+	lc      lifecycle
+	labels  *phaseLabels
+	invs    []ts.Invariant
+	goals   []ts.ReachGoal
+	quies   ts.QuiescentReporter
 
 	visited visited.Store
 	traces  *statespace.TraceStore[ts.State]
@@ -71,12 +74,32 @@ type pchecker struct {
 	failure *FailureInfo
 }
 
+// pworker is one ExpandLevel worker's private scratch: the fingerprinting
+// keyer, the transition buffer for the ts.TransitionAppender enumeration
+// path, and this worker's recycle count (summed into the space profile by
+// finish). The struct is padded to two cache lines so neighbouring workers'
+// per-expansion buffer-header and counter writes never false-share.
+//
+// The recycling side needs no driver-held free-list beyond this: the models
+// pool through sync.Pool, whose per-P private caches already give each
+// worker goroutine a lock-free local free-list — a successor recycled by a
+// worker is overwhelmingly re-issued to a succ() clone on the same P
+// without touching the shared pool chain.
+type pworker struct {
+	key      keyer
+	trs      []ts.Transition
+	recycled uint64
+	_        [56]byte
+}
+
 // checkParallel explores sys with the parallel driver (see Options.Workers).
 func checkParallel(sys ts.System, opt Options) (*Result, error) {
 	c := &pchecker{
 		sys:     sys,
 		opt:     opt,
 		canon:   newCanon(sys, opt),
+		lc:      newLifecycle(sys, opt),
+		labels:  newPhaseLabels(opt),
 		invs:    sys.Invariants(),
 		visited: visited.NewConcurrent(visitedConfig(opt)),
 		traces:  statespace.NewTraceStore[ts.State](opt.RecordTrace),
@@ -88,11 +111,12 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 	if qr, ok := sys.(ts.QuiescentReporter); ok {
 		c.quies = qr
 	}
-	c.keyers = make([]keyer, opt.Workers)
-	for i := range c.keyers {
-		c.keyers[i] = newKeyer(c.canon, opt)
+	c.workers = make([]pworker, opt.Workers)
+	for i := range c.workers {
+		c.workers[i].key = newKeyer(c.canon, opt)
 	}
 	res, err := c.run()
+	c.labels.clear()
 	if cerr := closeStore(c.visited); err == nil {
 		err = cerr
 	}
@@ -104,8 +128,20 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 
 // tryAdmit claims expansion ownership of s through worker w's keyer
 // scratch, bumping the admitted counter on success when a cap needs it.
+// Rejected duplicates are recycled on the spot: a loser of an insert race
+// was never traced and never emitted, so only the calling worker can still
+// reach it (counted per worker; the model's sync.Pool keeps the returned
+// storage on this worker's P).
 func (c *pchecker) tryAdmit(w int, s ts.State) bool {
-	if !c.visited.TryInsert(c.keyers[w].fingerprint(s)) {
+	pw := &c.workers[w]
+	c.labels.key()
+	fp := pw.key.fingerprint(s)
+	c.labels.insert()
+	if !c.visited.TryInsert(fp) {
+		if c.lc.recycler != nil {
+			c.lc.recycler.Recycle(s)
+			pw.recycled++
+		}
 		return false
 	}
 	if c.opt.MaxStates > 0 {
@@ -167,9 +203,18 @@ func (c *pchecker) expand(w int, it pitem, emit func(pitem)) (stop bool, err err
 		c.capHit.Store(true)
 		return true, nil
 	}
-	trs := c.sys.Transitions(it.state)
+	pw := &c.workers[w]
+	c.labels.enumerate()
+	var trs []ts.Transition
+	if c.lc.appender != nil {
+		pw.trs = c.lc.appender.AppendTransitions(pw.trs[:0], it.state)
+		trs = pw.trs
+	} else {
+		trs = c.sys.Transitions(it.state)
+	}
 	succs, blocked := 0, 0
 	for _, tr := range trs {
+		c.labels.fire()
 		next, ferr := tr.Fire(c.opt.Env)
 		if ferr != nil {
 			if errors.Is(ferr, ts.ErrWildcard) {
@@ -192,16 +237,23 @@ func (c *pchecker) expand(w int, it pitem, emit func(pitem)) (stop bool, err err
 		}
 		emit(child)
 	}
-	if succs == 0 && !c.opt.NoDeadlock {
-		if blocked > 0 {
-			// All outgoing behaviour hidden behind wildcards: not provably a
-			// deadlock; the Unknown verdict (WildcardHit) covers it.
-			return false, nil
-		}
+	if succs == 0 && !c.opt.NoDeadlock && blocked == 0 {
+		// With blocked > 0 all outgoing behaviour hides behind wildcards:
+		// not provably a deadlock; the Unknown verdict (WildcardHit) covers
+		// it, and the expansion completes normally below.
 		if c.quies == nil || !c.quies.Quiescent(it.state) {
 			c.fail(FailDeadlock, "deadlock", it.node)
 			return true, nil
 		}
+	}
+	// Normal completion. In traceless mode the expanded state is dead: no
+	// trace node references it, ExpandLevel reads each level entry exactly
+	// once (the frontier slice's copy of the pointer is never dereferenced
+	// again), and the fired closures are gone — so its storage returns to
+	// the pool from the worker that owned its expansion.
+	if !c.opt.RecordTrace && c.lc.recycler != nil {
+		c.lc.recycler.Recycle(it.state)
+		pw.recycled++
 	}
 	return false, nil
 }
@@ -267,6 +319,11 @@ func (c *pchecker) finish() *Result {
 	res.Space.Transitions = int(c.fired.Load())
 	res.Space.PeakFrontier = c.peak
 	res.Space.TraceNodes = c.traces.Nodes()
+	var recycled uint64
+	for i := range c.workers {
+		recycled += c.workers[i].recycled
+	}
+	c.lc.finishPool(&res.Space, recycled)
 	fillSpace(res, c.visited, unsafe.Sizeof(pitem{}), c.traces.NodeBytes())
 	if c.failure != nil {
 		res.Verdict = Failure

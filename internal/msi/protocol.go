@@ -2,6 +2,8 @@ package msi
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"verc3/internal/network"
 	"verc3/internal/ts"
@@ -46,12 +48,80 @@ type Config struct {
 	Variant Variant
 }
 
-// System implements ts.System for the MSI protocol. It is stateless (safe
-// for concurrent synthesis workers).
+// System implements ts.System for the MSI protocol, plus the successor
+// lifecycle extensions (ts.Recycler / ts.TransitionAppender): Fire draws
+// its clones from a recycled-state pool and transition names come from
+// tables precomputed at construction. The protocol tables are immutable
+// after New and the pool is a sync.Pool, so a System remains safe for
+// concurrent synthesis workers.
 type System struct {
 	cfg   Config
 	dirID int
 	holes map[string]bool // rule IDs synthesized in this variant
+	names nameTables
+
+	// pool holds recycled *State storage (see Recycle); hits/misses count
+	// successor clones served from it vs built fresh, for ts.PoolReporter.
+	pool   sync.Pool
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// msgTypes indexes the protocol's message types for the name tables.
+var msgTypes = [...]string{MsgGetS, MsgGetM, MsgFwdGetS, MsgFwdGetM, MsgInv, MsgInvAck, MsgData, MsgAck}
+
+// msgIndex maps a message type to its msgTypes slot (-1 if unknown; the
+// protocol only ever sends the eight types above, so -1 is a fall-back for
+// robustness, not a real path).
+func msgIndex(t string) int {
+	for i, mt := range msgTypes {
+		if mt == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// nameTables holds every transition name the protocol can offer,
+// precomputed at construction: four issue/store names per cache, one
+// delivery name per (cache, message type, cache state), and one per
+// (message type, directory state). With them, steady-state enumeration
+// formats no strings at all.
+type nameTables struct {
+	issueRead    []string
+	issueWrite   []string
+	issueUpgrade []string
+	store        []string
+	cacheRecv    [][len(msgTypes)][numCacheStates]string
+	dirRecv      [len(msgTypes)][numDirStates]string
+}
+
+// buildNames precomputes the transition-name tables for a cache count.
+func buildNames(caches int) nameTables {
+	nt := nameTables{
+		issueRead:    make([]string, caches),
+		issueWrite:   make([]string, caches),
+		issueUpgrade: make([]string, caches),
+		store:        make([]string, caches),
+		cacheRecv:    make([][len(msgTypes)][numCacheStates]string, caches),
+	}
+	for i := 0; i < caches; i++ {
+		nt.issueRead[i] = fmt.Sprintf("c%d: issue read", i)
+		nt.issueWrite[i] = fmt.Sprintf("c%d: issue write", i)
+		nt.issueUpgrade[i] = fmt.Sprintf("c%d: issue upgrade", i)
+		nt.store[i] = fmt.Sprintf("c%d: store", i)
+		for t, mt := range msgTypes {
+			for cs := CacheState(0); cs < numCacheStates; cs++ {
+				nt.cacheRecv[i][t][cs] = fmt.Sprintf("c%d: recv %s in %s", i, mt, cs)
+			}
+		}
+	}
+	for t, mt := range msgTypes {
+		for ds := DirState(0); ds < numDirStates; ds++ {
+			nt.dirRecv[t][ds] = fmt.Sprintf("dir: recv %s in %s", mt, ds)
+		}
+	}
+	return nt
 }
 
 // Rule identifiers for holed transition rules.
@@ -84,7 +154,37 @@ func New(cfg Config) *System {
 		holes[ruleCacheSMWInv] = true
 		holes[ruleCacheIMAAck1] = true
 	}
-	return &System{cfg: cfg, dirID: cfg.Caches, holes: holes}
+	return &System{cfg: cfg, dirID: cfg.Caches, holes: holes, names: buildNames(cfg.Caches)}
+}
+
+// succ returns a successor state equal to st, drawing storage from the
+// recycled-state pool when it has any and falling back to a fresh deep
+// copy otherwise. Either way the result owns all of its storage (Scratch
+// semantics, not Clone's shared network), which is what entitles the
+// firing rule to mutate its network in place.
+func (sys *System) succ(st *State) *State {
+	if v := sys.pool.Get(); v != nil {
+		ns := v.(*State)
+		ns.CopyFrom(st)
+		sys.hits.Add(1)
+		return ns
+	}
+	sys.misses.Add(1)
+	return st.Scratch().(*State)
+}
+
+// Recycle implements ts.Recycler: s's storage seeds a future Fire clone.
+// The caller must own s outright (see the ts package docs for the
+// ownership rules); states of foreign types are ignored.
+func (sys *System) Recycle(s ts.State) {
+	if st, ok := s.(*State); ok {
+		sys.pool.Put(st)
+	}
+}
+
+// PoolStats implements ts.PoolReporter.
+func (sys *System) PoolStats() (hits, misses uint64) {
+	return sys.hits.Load(), sys.misses.Load()
 }
 
 // Name implements ts.System.
@@ -125,39 +225,45 @@ const (
 
 // Transitions implements ts.System.
 func (sys *System) Transitions(s ts.State) []ts.Transition {
+	return sys.AppendTransitions(nil, s)
+}
+
+// AppendTransitions implements ts.TransitionAppender: Transitions appended
+// into a caller-owned buffer, with every name a table lookup and every
+// Fire clone drawn from the recycled-state pool.
+func (sys *System) AppendTransitions(dst []ts.Transition, s ts.State) []ts.Transition {
 	st := s.(*State)
 	if st.Err != "" {
-		return nil // poisoned; the no-protocol-error invariant has fired
+		return dst // poisoned; the no-protocol-error invariant has fired
 	}
-	var trs []ts.Transition
 	for i := range st.Caches {
 		i := i
 		switch st.Caches[i].St {
 		case CacheI:
-			trs = append(trs,
-				ts.Transition{Name: fmt.Sprintf("c%d: issue read", i), Fire: func(*ts.Env) (ts.State, error) {
-					ns := st.Clone().(*State)
-					ns.Net = ns.Net.Send(network.Msg{Type: MsgGetS, Src: i, Dst: sys.dirID, Req: None})
+			dst = append(dst,
+				ts.Transition{Name: sys.names.issueRead[i], Fire: func(*ts.Env) (ts.State, error) {
+					ns := sys.succ(st)
+					ns.Net.SendInPlace(network.Msg{Type: MsgGetS, Src: i, Dst: sys.dirID, Req: None})
 					ns.Caches[i].St = CacheISD
 					return ns, nil
 				}},
-				ts.Transition{Name: fmt.Sprintf("c%d: issue write", i), Fire: func(*ts.Env) (ts.State, error) {
-					ns := st.Clone().(*State)
-					ns.Net = ns.Net.Send(network.Msg{Type: MsgGetM, Src: i, Dst: sys.dirID, Req: None})
+				ts.Transition{Name: sys.names.issueWrite[i], Fire: func(*ts.Env) (ts.State, error) {
+					ns := sys.succ(st)
+					ns.Net.SendInPlace(network.Msg{Type: MsgGetM, Src: i, Dst: sys.dirID, Req: None})
 					ns.Caches[i].St = CacheIMAD
 					return ns, nil
 				}},
 			)
 		case CacheS:
-			trs = append(trs, ts.Transition{Name: fmt.Sprintf("c%d: issue upgrade", i), Fire: func(*ts.Env) (ts.State, error) {
-				ns := st.Clone().(*State)
-				ns.Net = ns.Net.Send(network.Msg{Type: MsgGetM, Src: i, Dst: sys.dirID, Req: None})
+			dst = append(dst, ts.Transition{Name: sys.names.issueUpgrade[i], Fire: func(*ts.Env) (ts.State, error) {
+				ns := sys.succ(st)
+				ns.Net.SendInPlace(network.Msg{Type: MsgGetM, Src: i, Dst: sys.dirID, Req: None})
 				ns.Caches[i].St = CacheSMW
 				return ns, nil
 			}})
 		case CacheM:
-			trs = append(trs, ts.Transition{Name: fmt.Sprintf("c%d: store", i), Fire: func(*ts.Env) (ts.State, error) {
-				ns := st.Clone().(*State)
+			dst = append(dst, ts.Transition{Name: sys.names.store[i], Fire: func(*ts.Env) (ts.State, error) {
+				ns := sys.succ(st)
 				sys.store(ns, i)
 				return ns, nil
 			}})
@@ -167,18 +273,18 @@ func (sys *System) Transitions(s ts.State) []ts.Transition {
 		mi, m := mi, m
 		if m.Dst == sys.dirID {
 			if tr, ok := sys.dirDelivery(st, mi, m); ok {
-				trs = append(trs, tr)
+				dst = append(dst, tr)
 			}
 		} else if m.Dst >= 0 && m.Dst < len(st.Caches) {
 			if tr, ok := sys.cacheDelivery(st, mi, m); ok {
-				trs = append(trs, tr)
+				dst = append(dst, tr)
 			}
 		}
 		// Messages to invalid destinations (a synthesized response picked a
 		// target that does not exist) just sit in the network; the
 		// handshake invariants flag the stuck transaction.
 	}
-	return trs
+	return dst
 }
 
 // store performs cache i's write: the line takes the next value in the tiny
@@ -192,17 +298,18 @@ func (sys *System) store(ns *State, i int) {
 // --- Shared action application (used by both fixed rules and holes) ---
 
 // applyCacheResp performs a cache response action for cache i reacting to m.
+// ns must own its network storage (every Fire successor does — see succ).
 func (sys *System) applyCacheResp(ns *State, i int, m network.Msg, act int) {
 	switch act {
 	case cRespNone:
 	case cRespAckDir:
-		ns.Net = ns.Net.Send(network.Msg{Type: MsgAck, Src: i, Dst: sys.dirID, Req: None})
+		ns.Net.SendInPlace(network.Msg{Type: MsgAck, Src: i, Dst: sys.dirID, Req: None})
 	case cRespInvAckReq:
 		tgt := m.Req
 		if tgt < 0 {
 			tgt = m.Src // message carries no requester; fall back to sender
 		}
-		ns.Net = ns.Net.Send(network.Msg{Type: MsgInvAck, Src: i, Dst: tgt, Req: None})
+		ns.Net.SendInPlace(network.Msg{Type: MsgInvAck, Src: i, Dst: tgt, Req: None})
 	default:
 		panic("msi: bad cache response action")
 	}
@@ -237,30 +344,31 @@ func (sys *System) applyDirResp(ns *State, m network.Msg, act int) {
 			ns.Err = "dir-resp:data-pend-without-pending"
 			return
 		}
-		ns.Net = ns.Net.Send(network.Msg{Type: MsgData, Src: sys.dirID, Dst: int(p), Req: None, Val: int(ns.Dir.Mem)})
+		ns.Net.SendInPlace(network.Msg{Type: MsgData, Src: sys.dirID, Dst: int(p), Req: None, Val: int(ns.Dir.Mem)})
 	case "fwdgets-owner":
 		if ns.Dir.Owner < 0 || ns.Dir.Pending < 0 {
 			ns.Err = "dir-resp:fwdgets-unset"
 			return
 		}
-		ns.Net = ns.Net.Send(network.Msg{Type: MsgFwdGetS, Src: sys.dirID, Dst: int(ns.Dir.Owner), Req: int(ns.Dir.Pending)})
+		ns.Net.SendInPlace(network.Msg{Type: MsgFwdGetS, Src: sys.dirID, Dst: int(ns.Dir.Owner), Req: int(ns.Dir.Pending)})
 	case "fwdgetm-owner":
 		if ns.Dir.Owner < 0 || ns.Dir.Pending < 0 {
 			ns.Err = "dir-resp:fwdgetm-unset"
 			return
 		}
-		ns.Net = ns.Net.Send(network.Msg{Type: MsgFwdGetM, Src: sys.dirID, Dst: int(ns.Dir.Owner), Req: int(ns.Dir.Pending)})
+		ns.Net.SendInPlace(network.Msg{Type: MsgFwdGetM, Src: sys.dirID, Dst: int(ns.Dir.Owner), Req: int(ns.Dir.Pending)})
 	case "inv-sharers":
-		sh := ns.sharerSet()
-		if len(sh) == 0 {
+		if ns.Dir.Sharers == 0 {
 			return // vacuous: behaviourally identical to "none"
 		}
 		if ns.Dir.Pending < 0 {
 			ns.Err = "dir-resp:inv-without-pending"
 			return
 		}
-		for _, j := range sh {
-			ns.Net = ns.Net.Send(network.Msg{Type: MsgInv, Src: sys.dirID, Dst: j, Req: int(ns.Dir.Pending)})
+		for j := range ns.Caches {
+			if ns.Dir.Sharers&(1<<uint(j)) != 0 {
+				ns.Net.SendInPlace(network.Msg{Type: MsgInv, Src: sys.dirID, Dst: j, Req: int(ns.Dir.Pending)})
+			}
 		}
 	default:
 		panic("msi: bad directory response action")
@@ -301,16 +409,24 @@ func (sys *System) applyDirNext(ns *State, act int) {
 func (sys *System) cacheDelivery(st *State, mi int, m network.Msg) (ts.Transition, bool) {
 	i := m.Dst
 	c := st.Caches[i]
-	name := fmt.Sprintf("c%d: recv %s in %s", i, m.Type, c.St)
+	var name string
+	if t := msgIndex(m.Type); t >= 0 {
+		name = sys.names.cacheRecv[i][t][c.St]
+	} else {
+		name = fmt.Sprintf("c%d: recv %s in %s", i, m.Type, c.St)
+	}
 
 	fire := func(apply func(ns *State, env *ts.Env) error) ts.Transition {
 		return ts.Transition{Name: name, Fire: func(env *ts.Env) (ts.State, error) {
-			ns := st.Clone().(*State)
-			ns.Net = ns.Net.Remove(mi)
+			ns := sys.succ(st)
+			ns.Net.RemoveInPlace(mi)
 			if m.Type == MsgData {
 				ns.Caches[i].Data = int8(m.Val) // data delivery plumbing
 			}
 			if err := apply(ns, env); err != nil {
+				// The branch aborted (wildcard hole): ns never escaped, so
+				// its storage can seed the next clone immediately.
+				sys.Recycle(ns)
 				return nil, err
 			}
 			return ns, nil
@@ -393,14 +509,14 @@ func (sys *System) cacheDelivery(st *State, mi int, m network.Msg) (ts.Transitio
 	case c.St == CacheM && m.Type == MsgFwdGetS:
 		return fire(func(ns *State, _ *ts.Env) error {
 			// Data to the requester and writeback to the directory.
-			ns.Net = ns.Net.Send(network.Msg{Type: MsgData, Src: i, Dst: m.Req, Req: None, Val: int(c.Data)})
-			ns.Net = ns.Net.Send(network.Msg{Type: MsgData, Src: i, Dst: sys.dirID, Req: None, Val: int(c.Data)})
+			ns.Net.SendInPlace(network.Msg{Type: MsgData, Src: i, Dst: m.Req, Req: None, Val: int(c.Data)})
+			ns.Net.SendInPlace(network.Msg{Type: MsgData, Src: i, Dst: sys.dirID, Req: None, Val: int(c.Data)})
 			sys.applyCacheNext(ns, i, int(CacheS))
 			return nil
 		}), true
 	case c.St == CacheM && m.Type == MsgFwdGetM:
 		return fire(func(ns *State, _ *ts.Env) error {
-			ns.Net = ns.Net.Send(network.Msg{Type: MsgData, Src: i, Dst: m.Req, Req: None, Val: int(c.Data)})
+			ns.Net.SendInPlace(network.Msg{Type: MsgData, Src: i, Dst: m.Req, Req: None, Val: int(c.Data)})
 			sys.applyCacheNext(ns, i, int(CacheI))
 			return nil
 		}), true
@@ -419,16 +535,23 @@ func (sys *System) cacheDelivery(st *State, mi int, m network.Msg) (ts.Transitio
 // or ok=false when the directory stalls the message.
 func (sys *System) dirDelivery(st *State, mi int, m network.Msg) (ts.Transition, bool) {
 	d := st.Dir
-	name := fmt.Sprintf("dir: recv %s in %s", m.Type, d.St)
+	var name string
+	if t := msgIndex(m.Type); t >= 0 {
+		name = sys.names.dirRecv[t][d.St]
+	} else {
+		name = fmt.Sprintf("dir: recv %s in %s", m.Type, d.St)
+	}
 
 	fire := func(apply func(ns *State, env *ts.Env) error) ts.Transition {
 		return ts.Transition{Name: name, Fire: func(env *ts.Env) (ts.State, error) {
-			ns := st.Clone().(*State)
-			ns.Net = ns.Net.Remove(mi)
+			ns := sys.succ(st)
+			ns.Net.RemoveInPlace(mi)
 			if m.Type == MsgData {
 				ns.Dir.Mem = int8(m.Val) // writeback plumbing
 			}
 			if err := apply(ns, env); err != nil {
+				// Aborted branch (wildcard hole): ns never escaped.
+				sys.Recycle(ns)
 				return nil, err
 			}
 			return ns, nil
@@ -463,34 +586,34 @@ func (sys *System) dirDelivery(st *State, mi int, m network.Msg) (ts.Transition,
 
 	case d.St == DirI && m.Type == MsgGetS:
 		return fire(func(ns *State, _ *ts.Env) error {
-			ns.Net = ns.Net.Send(network.Msg{Type: MsgData, Src: sys.dirID, Dst: m.Src, Req: None, Val: int(d.Mem)})
+			ns.Net.SendInPlace(network.Msg{Type: MsgData, Src: sys.dirID, Dst: m.Src, Req: None, Val: int(d.Mem)})
 			ns.Dir.Sharers = 1 << uint(m.Src)
 			ns.Dir.St = DirS
 			return nil
 		}), true
 	case d.St == DirI && m.Type == MsgGetM:
 		return fire(func(ns *State, _ *ts.Env) error {
-			ns.Net = ns.Net.Send(network.Msg{Type: MsgData, Src: sys.dirID, Dst: m.Src, Req: None, Val: int(d.Mem)})
+			ns.Net.SendInPlace(network.Msg{Type: MsgData, Src: sys.dirID, Dst: m.Src, Req: None, Val: int(d.Mem)})
 			ns.Dir.Pending = int8(m.Src)
 			ns.Dir.St = DirIM
 			return nil
 		}), true
 	case d.St == DirS && m.Type == MsgGetS:
 		return fire(func(ns *State, _ *ts.Env) error {
-			ns.Net = ns.Net.Send(network.Msg{Type: MsgData, Src: sys.dirID, Dst: m.Src, Req: None, Val: int(d.Mem)})
+			ns.Net.SendInPlace(network.Msg{Type: MsgData, Src: sys.dirID, Dst: m.Src, Req: None, Val: int(d.Mem)})
 			ns.Dir.Sharers |= 1 << uint(m.Src)
 			return nil
 		}), true
 	case d.St == DirS && m.Type == MsgGetM:
 		return fire(func(ns *State, _ *ts.Env) error {
 			cnt := 0
-			for _, j := range ns.sharerSet() {
-				if j != m.Src {
-					ns.Net = ns.Net.Send(network.Msg{Type: MsgInv, Src: sys.dirID, Dst: j, Req: m.Src})
+			for j := range ns.Caches {
+				if ns.Dir.Sharers&(1<<uint(j)) != 0 && j != m.Src {
+					ns.Net.SendInPlace(network.Msg{Type: MsgInv, Src: sys.dirID, Dst: j, Req: m.Src})
 					cnt++
 				}
 			}
-			ns.Net = ns.Net.Send(network.Msg{Type: MsgData, Src: sys.dirID, Dst: m.Src, Req: None, Cnt: cnt, Val: int(d.Mem)})
+			ns.Net.SendInPlace(network.Msg{Type: MsgData, Src: sys.dirID, Dst: m.Src, Req: None, Cnt: cnt, Val: int(d.Mem)})
 			ns.Dir.Sharers = 0
 			ns.Dir.Pending = int8(m.Src)
 			ns.Dir.St = DirSM

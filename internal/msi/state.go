@@ -185,6 +185,23 @@ func (s *State) Clone() ts.State {
 	return cp
 }
 
+// CopyFrom implements ts.StateCopier: overwrite the receiver with src,
+// reusing the receiver's cache array and network message storage. The
+// result owns all of its storage like Scratch — not like Clone, which
+// shares the network slice — because a recycled successor's network is
+// about to be mutated in place by the firing rule (SendInPlace /
+// RemoveInPlace). Fire keeps every successor on this owned-storage
+// footing, so one cache array and one message buffer recirculate through
+// arbitrarily many recycle/CopyFrom cycles.
+func (s *State) CopyFrom(src ts.State) {
+	o := src.(*State)
+	s.Caches = append(s.Caches[:0], o.Caches...)
+	s.Dir = o.Dir
+	o.Net.CopyInto(&s.Net)
+	s.Ghost = o.Ghost
+	s.Err = o.Err
+}
+
 // NumAgents implements ts.Permutable.
 func (s *State) NumAgents() int { return len(s.Caches) }
 
@@ -258,15 +275,4 @@ func (s *State) String() string {
 		fmt.Fprintf(&b, " ERR=%s", s.Err)
 	}
 	return b.String()
-}
-
-// sharerSet returns the sharer cache indices in ascending order.
-func (s *State) sharerSet() []int {
-	var out []int
-	for i := range s.Caches {
-		if s.Dir.Sharers&(1<<uint(i)) != 0 {
-			out = append(out, i)
-		}
-	}
-	return out
 }

@@ -21,6 +21,8 @@ package mutex
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"verc3/internal/ts"
 )
@@ -85,6 +87,10 @@ func (s *State) Clone() ts.State {
 	return &cp
 }
 
+// CopyFrom implements ts.StateCopier. The state is a flat value, so a plain
+// assignment leaves the receiver sharing nothing.
+func (s *State) CopyFrom(src ts.State) { *s = *src.(*State) }
+
 // Scratch implements ts.InPlacePermuter. The state is a flat value — Clone
 // is already fully private.
 func (s *State) Scratch() ts.State { return s.Clone() }
@@ -121,10 +127,50 @@ func (s *State) String() string {
 		s.PCs[0], s.Flag[0], s.PCs[1], s.Flag[1], s.Turn, s.VisitedCrit)
 }
 
-// System implements ts.System. Sketch selects whether the three actions are
-// holes (true) or fixed to Peterson's correct choices (false).
+// System implements ts.System plus the successor lifecycle extensions
+// (ts.Recycler / ts.TransitionAppender). Sketch selects whether the three
+// actions are holes (true) or fixed to Peterson's correct choices (false).
 type System struct {
 	Sketch bool
+
+	pool   sync.Pool
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Transition names, one per (process, rule): computed once instead of a
+// fmt.Sprintf per expansion.
+var (
+	nameRequest = [2]string{"p0: request (flag up)", "p1: request (flag up)"}
+	nameTurn    = [2]string{"p0: write turn", "p1: write turn"}
+	nameEnter   = [2]string{"p0: enter critical section", "p1: enter critical section"}
+	nameLeave   = [2]string{"p0: leave critical section", "p1: leave critical section"}
+)
+
+// succ returns a successor equal to st, drawn from the recycled-state pool
+// when possible.
+func (sys *System) succ(st *State) *State {
+	if v := sys.pool.Get(); v != nil {
+		ns := v.(*State)
+		*ns = *st
+		sys.hits.Add(1)
+		return ns
+	}
+	sys.misses.Add(1)
+	cp := *st
+	return &cp
+}
+
+// Recycle implements ts.Recycler.
+func (sys *System) Recycle(s ts.State) {
+	if st, ok := s.(*State); ok {
+		sys.pool.Put(st)
+	}
+}
+
+// PoolStats implements ts.PoolReporter.
+func (sys *System) PoolStats() (hits, misses uint64) {
+	return sys.hits.Load(), sys.misses.Load()
 }
 
 // New returns the mutex system; sketch leaves the three actions as holes.
@@ -160,31 +206,38 @@ func (sys *System) choose(env *ts.Env, hole string, acts []string, correct int) 
 
 // Transitions implements ts.System.
 func (sys *System) Transitions(s ts.State) []ts.Transition {
+	return sys.AppendTransitions(nil, s)
+}
+
+// AppendTransitions implements ts.TransitionAppender: Transitions appended
+// into a caller-owned buffer, with precomputed names and pooled Fire clones.
+// Holes are resolved before cloning, so an aborted (wildcard) branch never
+// touches the pool.
+func (sys *System) AppendTransitions(dst []ts.Transition, s ts.State) []ts.Transition {
 	st := s.(*State)
-	var trs []ts.Transition
 	for me := 0; me < 2; me++ {
 		me := me
 		other := 1 - me
 		switch st.PCs[me] {
 		case Idle:
-			trs = append(trs, ts.Transition{
-				Name: fmt.Sprintf("p%d: request (flag up)", me),
+			dst = append(dst, ts.Transition{
+				Name: nameRequest[me],
 				Fire: func(*ts.Env) (ts.State, error) {
-					ns := st.Clone().(*State)
+					ns := sys.succ(st)
 					ns.Flag[me] = true
 					ns.PCs[me] = SetTurn
 					return ns, nil
 				},
 			})
 		case SetTurn:
-			trs = append(trs, ts.Transition{
-				Name: fmt.Sprintf("p%d: write turn", me),
+			dst = append(dst, ts.Transition{
+				Name: nameTurn[me],
 				Fire: func(env *ts.Env) (ts.State, error) {
 					a, err := sys.choose(env, "turn-write", turnActions, 0)
 					if err != nil {
 						return nil, err
 					}
-					ns := st.Clone().(*State)
+					ns := sys.succ(st)
 					if a == 0 {
 						ns.Turn = int8(other)
 					} else {
@@ -196,10 +249,10 @@ func (sys *System) Transitions(s ts.State) []ts.Transition {
 			})
 		case Wait:
 			if !st.Flag[other] || st.Turn == int8(me) {
-				trs = append(trs, ts.Transition{
-					Name: fmt.Sprintf("p%d: enter critical section", me),
+				dst = append(dst, ts.Transition{
+					Name: nameEnter[me],
 					Fire: func(*ts.Env) (ts.State, error) {
-						ns := st.Clone().(*State)
+						ns := sys.succ(st)
 						ns.PCs[me] = Crit
 						ns.VisitedCrit = true
 						return ns, nil
@@ -207,8 +260,8 @@ func (sys *System) Transitions(s ts.State) []ts.Transition {
 				})
 			}
 		case Crit:
-			trs = append(trs, ts.Transition{
-				Name: fmt.Sprintf("p%d: leave critical section", me),
+			dst = append(dst, ts.Transition{
+				Name: nameLeave[me],
 				Fire: func(env *ts.Env) (ts.State, error) {
 					ef, err := sys.choose(env, "exit-flag", exitActions, 0)
 					if err != nil {
@@ -218,7 +271,7 @@ func (sys *System) Transitions(s ts.State) []ts.Transition {
 					if err != nil {
 						return nil, err
 					}
-					ns := st.Clone().(*State)
+					ns := sys.succ(st)
 					if ef == 0 {
 						ns.Flag[me] = false
 					}
@@ -232,7 +285,7 @@ func (sys *System) Transitions(s ts.State) []ts.Transition {
 			})
 		}
 	}
-	return trs
+	return dst
 }
 
 // Invariants implements ts.System: mutual exclusion.

@@ -192,10 +192,42 @@ func (n Net) AppendKey(dst []byte) []byte {
 
 // Copy returns a Net with private message storage. Net values returned by
 // Send/Remove/Permute may be shared freely (immutable value semantics), but
-// a Net used as a PermuteInto destination is overwritten in place and must
-// own its slice — that is the only place Copy is needed.
+// a Net that will be overwritten in place — a PermuteInto destination, or
+// an owned network mutated through SendInPlace/RemoveInPlace — must own
+// its slice, which is what Copy (and CopyInto) establish.
 func (n Net) Copy() Net {
 	return Net{msgs: append([]Msg(nil), n.msgs...)}
+}
+
+// CopyInto writes a copy of n into dst, reusing dst's message storage
+// (growing it only when capacity falls short). dst must own its storage;
+// afterwards it still does, so recycled protocol states keep recirculating
+// one message buffer through arbitrarily many CopyInto/SendInPlace cycles.
+func (n Net) CopyInto(dst *Net) {
+	dst.msgs = append(dst.msgs[:0], n.msgs...)
+}
+
+// SendInPlace inserts m into n's multiset preserving canonical order,
+// mutating n's own storage. n must own its slice (Copy/CopyInto/PermuteInto
+// lineage) — calling this on a shared Net value corrupts every state
+// holding it. The insertion is a backward shift like PermuteInto's
+// insertion sort: protocol networks hold a handful of messages, and unlike
+// Send nothing is allocated once capacity has grown to the working size.
+func (n *Net) SendInPlace(m Msg) {
+	n.msgs = append(n.msgs, m)
+	for j := len(n.msgs) - 1; j > 0 && less(n.msgs[j], n.msgs[j-1]); j-- {
+		n.msgs[j], n.msgs[j-1] = n.msgs[j-1], n.msgs[j]
+	}
+}
+
+// RemoveInPlace deletes the message at index i (per Messages order),
+// mutating n's own storage under the same ownership contract as
+// SendInPlace. It panics on out-of-range i.
+func (n *Net) RemoveInPlace(i int) {
+	if i < 0 || i >= len(n.msgs) {
+		panic("network: RemoveInPlace index out of range")
+	}
+	n.msgs = append(n.msgs[:i], n.msgs[i+1:]...)
 }
 
 // Permute returns a copy of n with every agent index a in [0, numAgents)

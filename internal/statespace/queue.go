@@ -47,6 +47,7 @@ func (q *Queue[T]) PopFront() (v T, ok bool) {
 	q.buf[q.head] = zero
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
+	q.maybeShrink()
 	return v, true
 }
 
@@ -60,5 +61,30 @@ func (q *Queue[T]) PopBack() (v T, ok bool) {
 	v = q.buf[i]
 	q.buf[i] = zero
 	q.n--
+	q.maybeShrink()
 	return v, true
+}
+
+// shrinkMin is the buffer size below which the queue never shrinks: halving
+// tiny buffers saves nothing and defeats the growth amortization.
+const shrinkMin = 64
+
+// maybeShrink halves the ring buffer when fill drops below a quarter, so
+// the memory of a wide exploration level is returned while the run is still
+// going rather than held until the queue itself is collected. The quarter
+// threshold gives hysteresis against the doubling growth: right after a
+// shrink the buffer is at most half full, so neither an immediate re-grow
+// nor an immediate re-shrink can occur. Amortization survives: a shrink
+// pays one copy of n elements but only after at least n pops since the
+// buffer last grew or shrank.
+func (q *Queue[T]) maybeShrink() {
+	if len(q.buf) < shrinkMin || q.n >= len(q.buf)/4 {
+		return
+	}
+	half := len(q.buf) / 2
+	shrunk := make([]T, half)
+	for i := 0; i < q.n; i++ {
+		shrunk[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = shrunk, 0
 }

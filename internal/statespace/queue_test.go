@@ -114,3 +114,78 @@ func TestQueueMixedOps(t *testing.T) {
 		}
 	}
 }
+
+// TestQueueShrinksWhenDrained checks the ring returns memory while a run is
+// still going: grow wide, drain to below quarter fill, and the buffer must
+// halve (repeatedly, down toward shrinkMin) while preserving FIFO contents.
+func TestQueueShrinksWhenDrained(t *testing.T) {
+	var q Queue[int]
+	const wide = 1 << 12
+	for i := 0; i < wide; i++ {
+		q.PushBack(i)
+	}
+	grown := len(q.buf)
+	if grown < wide {
+		t.Fatalf("buffer %d after %d pushes", grown, wide)
+	}
+	for i := 0; i < wide-8; i++ {
+		v, ok := q.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront #%d = %d, %v", i, v, ok)
+		}
+	}
+	if len(q.buf) >= grown/4 {
+		t.Errorf("buffer still %d (was %d) with %d elements left — never shrank", len(q.buf), grown, q.n)
+	}
+	// Remaining elements survived the copies, in order.
+	for i := wide - 8; i < wide; i++ {
+		v, ok := q.PopFront()
+		if !ok || v != i {
+			t.Fatalf("post-shrink PopFront = %d, %v, want %d", v, ok, i)
+		}
+	}
+	if q.Peak() != wide {
+		t.Errorf("Peak = %d, want %d", q.Peak(), wide)
+	}
+}
+
+// TestQueueShrinkFloor: small buffers never shrink (shrinkMin), so the
+// empty-after-drain queue keeps a reusable allocation.
+func TestQueueShrinkFloor(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < shrinkMin; i++ {
+		q.PushBack(i)
+	}
+	for q.Len() > 0 {
+		q.PopBack()
+	}
+	if len(q.buf) < shrinkMin/2 {
+		t.Errorf("buffer shrank to %d, below the %d floor's half", len(q.buf), shrinkMin/2)
+	}
+}
+
+// TestQueueShrinkHysteresis: a shrink must leave the buffer at most half
+// full, so push/pop oscillation at the boundary cannot thrash copies.
+func TestQueueShrinkHysteresis(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 1024; i++ {
+		q.PushBack(i)
+	}
+	for q.Len() > 1024/4 {
+		q.PopFront()
+	}
+	// Sit at the shrink boundary and oscillate.
+	copies := 0
+	last := len(q.buf)
+	for i := 0; i < 1000; i++ {
+		q.PushBack(i)
+		q.PopFront()
+		if len(q.buf) != last {
+			copies++
+			last = len(q.buf)
+		}
+	}
+	if copies > 2 {
+		t.Errorf("%d buffer reallocations during boundary oscillation — hysteresis broken", copies)
+	}
+}

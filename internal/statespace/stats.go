@@ -72,6 +72,15 @@ type Stats struct {
 	// workers, each dispatch's delta includes its neighbours' allocations.
 	Mallocs    uint64
 	AllocBytes uint64
+	// PoolHits and PoolMisses are the successor pool's traffic over the run
+	// (ts.PoolReporter delta): Fire clones served from recycled storage vs
+	// built fresh. Recycled counts the states the checker handed back
+	// (rejected duplicates, and in traceless mode expanded states). All zero
+	// when the system does not pool or recycling was disabled
+	// (mc.Options.NoRecycle).
+	PoolHits   uint64
+	PoolMisses uint64
+	Recycled   uint64
 }
 
 // SetRetained computes BytesRetained from the structural counters, given
@@ -126,6 +135,9 @@ func (s *Stats) Merge(o Stats) {
 	}
 	s.Mallocs += o.Mallocs
 	s.AllocBytes += o.AllocBytes
+	s.PoolHits += o.PoolHits
+	s.PoolMisses += o.PoolMisses
+	s.Recycled += o.Recycled
 }
 
 // String renders the profile on one line, e.g. for -stats outputs.
@@ -143,6 +155,9 @@ func (s Stats) String() string {
 	}
 	if s.Mallocs > 0 {
 		out += fmt.Sprintf(" allocs=%d (%s)", s.Mallocs, humanBytes(int64(s.AllocBytes)))
+	}
+	if s.PoolHits > 0 || s.PoolMisses > 0 || s.Recycled > 0 {
+		out += fmt.Sprintf(" pool=%d-hit/%d-miss recycled=%d", s.PoolHits, s.PoolMisses, s.Recycled)
 	}
 	return out
 }

@@ -52,6 +52,10 @@ func (r *ring) AppendKey(dst []byte) []byte {
 
 func (r *ring) Clone() ts.State { cp := *r; return &cp }
 
+// CopyFrom implements ts.StateCopier, which opts the dsl-built system into
+// successor recycling (the builder's pool is keyed on this capability).
+func (r *ring) CopyFrom(src ts.State) { *r = *src.(*ring) }
+
 // New assembles the system; sketch leaves the two actions as holes.
 func New(sketch bool) ts.System {
 	choose := func(env *ts.Env, hole string, acts []string, correct int) (int, error) {

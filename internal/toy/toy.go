@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"verc3/internal/ts"
 )
@@ -38,11 +39,44 @@ type Node struct {
 
 // Graph is a toy synthesis problem. It implements ts.System (plus quiescence
 // and goal reporting) and is safe for concurrent use: all state lives in the
-// immutable node table.
+// immutable node table. States are shared immortal values drawn from a table
+// built on first use, so the Graph deliberately does not implement
+// ts.Recycler — there is no per-successor storage to reclaim; it does
+// implement ts.TransitionAppender so enumeration itself allocates nothing.
 type Graph struct {
 	SysName string
 	Nodes   []Node
 	Init    []int
+
+	// Lazily built lookup tables (see tables): one boxed ts.State per node
+	// so Fire never re-boxes, and every transition name preformatted.
+	once      sync.Once
+	boxed     []ts.State
+	holeNames []string
+	edgeNames [][]string
+}
+
+// tables builds the boxed-state and name tables once per Graph.
+func (g *Graph) tables() {
+	g.once.Do(func() {
+		g.boxed = make([]ts.State, len(g.Nodes))
+		g.holeNames = make([]string, len(g.Nodes))
+		g.edgeNames = make([][]string, len(g.Nodes))
+		for i := range g.Nodes {
+			g.boxed[i] = state{id: i}
+			n := &g.Nodes[i]
+			if n.Hole != "" {
+				g.holeNames[i] = fmt.Sprintf("n%d:hole %s", i, n.Hole)
+			}
+			if len(n.Plain) > 0 {
+				names := make([]string, len(n.Plain))
+				for k, succ := range n.Plain {
+					names[k] = fmt.Sprintf("n%d→n%d", i, succ)
+				}
+				g.edgeNames[i] = names
+			}
+		}
+	})
 }
 
 // state wraps a node index as a ts.State.
@@ -74,39 +108,48 @@ func (g *Graph) Name() string {
 
 // Initial implements ts.System.
 func (g *Graph) Initial() []ts.State {
+	g.tables()
 	out := make([]ts.State, len(g.Init))
 	for i, id := range g.Init {
-		out[i] = state{id: id}
+		out[i] = g.boxed[id]
 	}
 	return out
 }
 
 // Transitions implements ts.System.
 func (g *Graph) Transitions(s ts.State) []ts.Transition {
+	return g.AppendTransitions(nil, s)
+}
+
+// AppendTransitions implements ts.TransitionAppender: Transitions appended
+// into a caller-owned buffer, returning pre-boxed states under preformatted
+// names.
+func (g *Graph) AppendTransitions(dst []ts.Transition, s ts.State) []ts.Transition {
+	g.tables()
 	id := s.(state).id
 	n := &g.Nodes[id]
-	var trs []ts.Transition
 	if n.Hole != "" {
 		hole, acts, to := n.Hole, n.Acts, n.To
-		trs = append(trs, ts.Transition{
-			Name: fmt.Sprintf("n%d:hole %s", id, hole),
+		boxed := g.boxed
+		dst = append(dst, ts.Transition{
+			Name: g.holeNames[id],
 			Fire: func(env *ts.Env) (ts.State, error) {
 				a, err := env.Choose(hole, acts)
 				if err != nil {
 					return nil, err
 				}
-				return state{id: to[a]}, nil
+				return boxed[to[a]], nil
 			},
 		})
 	}
-	for _, succ := range n.Plain {
-		succ := succ
-		trs = append(trs, ts.Transition{
-			Name: fmt.Sprintf("n%d→n%d", id, succ),
-			Fire: func(*ts.Env) (ts.State, error) { return state{id: succ}, nil },
+	for k, succ := range n.Plain {
+		tgt := g.boxed[succ]
+		dst = append(dst, ts.Transition{
+			Name: g.edgeNames[id][k],
+			Fire: func(*ts.Env) (ts.State, error) { return tgt, nil },
 		})
 	}
-	return trs
+	return dst
 }
 
 // Invariants implements ts.System.

@@ -21,6 +21,33 @@
 // materialized per visited state. Symmetric states can further implement
 // InPlacePermuter so the symmetry canonicalizer permutes into reusable
 // scratch instead of deep-cloning once per permutation.
+//
+// # Successor lifecycle
+//
+// The remaining per-state garbage of an exploration is the successors
+// themselves: Fire deep-copies the source state once per offered
+// transition, and in a dense state space most successors are rejected as
+// duplicates the moment they are fingerprinted — the copy was pure waste.
+// Three optional interfaces let systems and the checker close that loop:
+//
+//   - Recycler, implemented by the system, accepts a dead state back
+//     (Recycle) so its storage can seed the next Fire clone.
+//   - StateCopier, implemented by the state, overwrites a recycled state
+//     in place with a new source (the CopyFrom reuse path).
+//   - TransitionAppender, implemented by the system, enumerates
+//     transitions into a caller-owned buffer with names precomputed at
+//     construction, killing the per-expansion slice and fmt garbage.
+//
+// Ownership rules: every State returned by Initial or Fire is owned by the
+// caller, and a caller may hand any such state to Recycle once nothing
+// else can reach it — the model checker does so for rejected duplicate
+// successors (never enqueued, never traced) and, in traceless runs, for
+// each expanded state once its transitions have fired. A state escapes the
+// pool forever when it is retained anywhere: trace nodes, counterexamples
+// and frontier entries are never recycled. Systems that pool must build
+// reused clones so they share no mutable storage with live states (see
+// StateCopier); symmetry scratch is already private (InPlacePermuter
+// Scratch), so pooling never aliases it.
 package ts
 
 import "errors"
@@ -101,6 +128,68 @@ type InPlacePermuter interface {
 	// overwritten. Implementations reuse dst's storage and must not
 	// allocate beyond amortized growth of dst's internal slices.
 	PermuteInto(dst State, perm []int)
+}
+
+// StateCopier is optionally implemented by states that can overwrite
+// themselves with another state's contents, reusing their own storage —
+// the CopyFrom half of the successor-recycling protocol. src must be a
+// state of the same system (same concrete type and shape).
+//
+// CopyFrom is stronger than Clone: the receiver must end up sharing no
+// mutable storage with src or with any other live state, exactly like
+// InPlacePermuter.Scratch, because the receiver is about to be mutated by
+// a rule action while src may still sit on the frontier. (Immutable
+// payloads — strings, never-written shared arrays — may be shared.)
+type StateCopier interface {
+	State
+	// CopyFrom makes the receiver equal to src, reusing the receiver's
+	// storage where capacities allow and allocating only to grow.
+	CopyFrom(src State)
+}
+
+// Recycler is optionally implemented by systems that pool successor
+// storage: Recycle accepts a state the caller owns outright and no longer
+// needs, and the system's Fire implementations draw their clones from the
+// returned storage (via StateCopier.CopyFrom) instead of allocating fresh
+// deep copies.
+//
+// The caller contract: s must have been obtained from this system's
+// Initial or Fire, and nothing — trace node, frontier entry, scratch,
+// pending transition closure — may still reference it. After Recycle the
+// state's storage may be overwritten at any time. Recycle must be safe for
+// concurrent use (the parallel driver recycles from every worker; a
+// sync.Pool's per-P free-lists give each worker a private list).
+type Recycler interface {
+	Recycle(s State)
+}
+
+// PoolReporter is optionally implemented alongside Recycler to expose the
+// successor pool's cumulative traffic for statistics: hits counts Fire
+// clones served from recycled storage, misses counts clones built fresh
+// (pool empty — exploration start, or storage still checked out). The
+// checker reports the per-run delta in statespace.Stats.
+type PoolReporter interface {
+	PoolStats() (hits, misses uint64)
+}
+
+// TransitionAppender is optionally implemented by systems whose transition
+// enumeration can append into a caller-owned buffer, exactly like append:
+// the checker keeps one buffer per worker and truncates it per expansion,
+// so steady-state enumeration allocates nothing. Implementations must
+// behave identically to Transitions (same transitions, same order) and
+// precompute transition names at system construction — the per-expansion
+// fmt.Sprintf in a Transitions implementation is the second-largest
+// allocator after the successor clones themselves.
+//
+// Checkers prefer this path whenever the interface is satisfied, so a
+// wrapper that overrides Transitions while embedding a system implementing
+// TransitionAppender must override AppendTransitions as well — the promoted
+// method would otherwise enumerate the embedded system's transitions and
+// silently bypass the override.
+type TransitionAppender interface {
+	// AppendTransitions appends the transitions enabled in s to dst and
+	// returns the extended slice. It must not retain dst.
+	AppendTransitions(dst []Transition, s State) []Transition
 }
 
 // Env is the execution environment a transition fires in. It is the bridge
