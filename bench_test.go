@@ -30,6 +30,7 @@ import (
 	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
 	"verc3/internal/toy"
+	"verc3/internal/ts"
 	"verc3/internal/visited"
 	"verc3/internal/zoo"
 )
@@ -600,3 +601,51 @@ func BenchmarkLifecycleFreshEnum(b *testing.B) { lifecycleBench(b, false, true) 
 
 // BenchmarkLifecycleOff disables both: the PR 5 baseline.
 func BenchmarkLifecycleOff(b *testing.B) { lifecycleBench(b, true, true) }
+
+// --- Liveness checking (experiment E16) ---
+//
+// The nested-DFS accepting-cycle search on top of the safety pass. The
+// product space is states × monitor locations × fairness copies, so
+// blue+red product states against VisitedStates prices the liveness
+// premium directly. Token-ring is the passing row (every accepting seed's
+// red search comes up empty); MSI is the failing row (no network fairness
+// is declared, so the first accepting seed closes a lasso and the search
+// stops early — expected verdict: failure). Both rows land in the CI
+// benchstat artifact via -benchmem.
+
+// livenessBench explores the system once per iteration with the liveness
+// pass on and pins the expected verdict.
+func livenessBench(b *testing.B, sys ts.System, want mc.Verdict) {
+	b.Helper()
+	b.ReportAllocs()
+	var last *mc.Result
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(sys, mc.Options{Symmetry: true, Liveness: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != want {
+			b.Fatalf("verdict = %v, want %v", res.Verdict, want)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Stats.VisitedStates), "states")
+	b.ReportMetric(float64(last.Space.LiveStates), "blue")
+	b.ReportMetric(float64(last.Space.RedStates), "red")
+}
+
+// BenchmarkLivenessTokenRing runs the full search to success: N leads-to
+// goals, each with N weak-fairness constraints (N+1 Choueka copies).
+func BenchmarkLivenessTokenRing(b *testing.B) {
+	sys, err := zoo.Get("token-ring", zoo.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	livenessBench(b, sys, mc.Success)
+}
+
+// BenchmarkLivenessMSI finds the true-positive starvation lasso in the
+// complete protocol (a write stuck behind undelivered network messages).
+func BenchmarkLivenessMSI(b *testing.B) {
+	livenessBench(b, msi.New(msi.Config{Caches: *benchCaches, Variant: msi.Complete}), mc.Failure)
+}

@@ -5,8 +5,11 @@
 // states/sec throughput of the complete-MSI exploration that benchmark runs.
 //
 // The rows are the E15 successor-lifecycle ablation (recycling ×
-// enumeration path) plus the sequential/parallel driver pair — the numbers
-// DESIGN.md and EXPERIMENTS.md quote.
+// enumeration path), the sequential/parallel driver pair, and the E16
+// liveness pair (nested DFS after the safety pass; the MSI liveness row's
+// expected verdict is failure — the protocol declares no network fairness,
+// so a starvation lasso exists by design) — the numbers DESIGN.md and
+// EXPERIMENTS.md quote.
 //
 // Usage:
 //
@@ -44,20 +47,21 @@ type output struct {
 	Benchmarks map[string]result `json:"benchmarks"`
 }
 
-// exploreOnce model-checks the complete MSI protocol and returns the state
-// count (every benchmark below explores the same space, so the count is
-// also the per-op denominator for states/sec). The caller owns sys and
+// exploreOnce model-checks the complete MSI protocol, pins the row's
+// expected verdict, and returns the state count — safety states plus, for
+// liveness rows, the blue and red NDFS product states, so states/sec
+// prices the whole search that row actually ran. The caller owns sys and
 // reuses it across iterations, so the successor pool and name tables stay
 // warm — the same regime as the synthesis inner loop.
-func exploreOnce(sys *msi.System, opt mc.Options) (int, error) {
+func exploreOnce(sys *msi.System, opt mc.Options, want mc.Verdict) (int, error) {
 	res, err := mc.Check(sys, opt)
 	if err != nil {
 		return 0, err
 	}
-	if res.Verdict != mc.Success {
-		return 0, fmt.Errorf("verdict = %v", res.Verdict)
+	if res.Verdict != want {
+		return 0, fmt.Errorf("verdict = %v, want %v", res.Verdict, want)
 	}
-	return res.Stats.VisitedStates, nil
+	return res.Stats.VisitedStates + res.Space.LiveStates + res.Space.RedStates, nil
 }
 
 func main() {
@@ -76,13 +80,15 @@ func main() {
 	rows := []struct {
 		name string
 		opt  mc.Options
+		want mc.Verdict
 	}{
-		{"LifecycleFull", mc.Options{Symmetry: true}},
-		{"LifecycleNoRecycle", mc.Options{Symmetry: true, NoRecycle: true}},
-		{"LifecycleFreshEnum", mc.Options{Symmetry: true, FreshTransitions: true}},
-		{"LifecycleOff", mc.Options{Symmetry: true, NoRecycle: true, FreshTransitions: true}},
-		{"ExploreSequential", mc.Options{Symmetry: true}},
-		{"ExploreParallel", mc.Options{Symmetry: true, Workers: parallel}},
+		{"LifecycleFull", mc.Options{Symmetry: true}, mc.Success},
+		{"LifecycleNoRecycle", mc.Options{Symmetry: true, NoRecycle: true}, mc.Success},
+		{"LifecycleFreshEnum", mc.Options{Symmetry: true, FreshTransitions: true}, mc.Success},
+		{"LifecycleOff", mc.Options{Symmetry: true, NoRecycle: true, FreshTransitions: true}, mc.Success},
+		{"ExploreSequential", mc.Options{Symmetry: true}, mc.Success},
+		{"ExploreParallel", mc.Options{Symmetry: true, Workers: parallel}, mc.Success},
+		{"Liveness", mc.Options{Symmetry: true, Liveness: true}, mc.Failure},
 	}
 
 	doc := output{
@@ -95,16 +101,16 @@ func main() {
 	}
 	for _, r := range rows {
 		sys := msi.New(msi.Config{Caches: *caches, Variant: msi.Complete})
-		states, err := exploreOnce(sys, r.opt)
+		states, err := exploreOnce(sys, r.opt, r.want)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "verc3-bench: %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
-		opt := r.opt
+		opt, want := r.opt, r.want
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := exploreOnce(sys, opt); err != nil {
+				if _, err := exploreOnce(sys, opt, want); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,8 +6,13 @@
 //
 //	verc3-synth -system msi-small [-caches 2] [-mode prune|naive]
 //	            [-workers 4] [-mc-workers 1] [-style full|trace] [-max-eval N]
-//	            [-visited flat|map|spill] [-spill-mem-mb N] [-spill-dir DIR]
-//	            [-cpuprofile FILE] [-memprofile FILE] [-stats] [-v]
+//	            [-liveness] [-visited flat|map|spill] [-spill-mem-mb N]
+//	            [-spill-dir DIR] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-stats] [-v]
+//
+// With -liveness, every candidate dispatch additionally runs the nested-DFS
+// accepting-cycle search, so candidates that are safe but starve a liveness
+// goal are pruned too; winners are re-verified under the same option.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel synthesis workers (cross-candidate)")
 		mcWorkers = flag.Int("mc-workers", 1, "intra-check exploration workers per dispatch")
 		symmetry  = flag.Bool("symmetry", true, "enable symmetry reduction in the model checker")
+		liveness  = flag.Bool("liveness", false, "check declared liveness goals (nested DFS) on every candidate dispatch")
 		maxEval   = flag.Int64("max-eval", 0, "stop after N model-checker dispatches (0 = run to completion)")
 		stats     = flag.Bool("stats", false, "print the aggregated exploration memory profile")
 		visitedF  = flag.String("visited", "flat", "visited-set backend for dispatches: flat, map, or spill — all exact (bitstate is lossy and refused for synthesis)")
@@ -72,6 +78,7 @@ func main() {
 		MCWorkers: *mcWorkers,
 		MC: mc.Options{
 			Symmetry:   *symmetry,
+			Liveness:   *liveness,
 			MemStats:   *stats,
 			Visited:    backend,
 			BitstateMB: *bitstateM,

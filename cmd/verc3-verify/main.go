@@ -6,10 +6,15 @@
 // Usage:
 //
 //	verc3-verify -system msi-complete [-caches 3] [-symmetry=false] [-states]
-//	             [-dfs] [-workers N] [-shard-bits B] [-no-trace] [-no-recycle]
-//	             [-stats] [-visited flat|map|bitstate|spill] [-bitstate-mb N]
-//	             [-spill-mem-mb N] [-spill-dir DIR]
+//	             [-liveness] [-dfs] [-workers N] [-shard-bits B] [-no-trace]
+//	             [-no-recycle] [-stats] [-visited flat|map|bitstate|spill]
+//	             [-bitstate-mb N] [-spill-mem-mb N] [-spill-dir DIR]
 //	             [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -liveness, systems declaring liveness goals additionally run the
+// nested-DFS accepting-cycle search after the safety pass; violations
+// render as lasso counterexamples (stem + cycle). Liveness needs an exact
+// visited backend, so -liveness -visited bitstate is refused.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 		system    = flag.String("system", "msi-complete", "system to verify ("+strings.Join(zoo.Names(), ", ")+")")
 		caches    = flag.Int("caches", 0, "MSI cache count (0 = default 3)")
 		symmetry  = flag.Bool("symmetry", true, "enable scalarset symmetry reduction")
+		liveness  = flag.Bool("liveness", false, "after the safety pass, check declared liveness goals with nested DFS (needs an exact visited backend)")
 		states    = flag.Bool("states", false, "print states along the counterexample trace")
 		dfs       = flag.Bool("dfs", false, "use depth-first search (traces not minimal)")
 		maxSt     = flag.Int("max-states", 0, "state cap (0 = unlimited)")
@@ -64,6 +70,15 @@ func main() {
 	backend, err := visited.ParseKind(*visitedF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
+		os.Exit(2)
+	}
+
+	if *liveness && backend == visited.Bitstate {
+		fmt.Fprintf(os.Stderr,
+			"verc3-verify: -liveness cannot run on the bitstate backend: nested DFS relies on\n"+
+				"exact membership answers, and bitstate hashing may drop states (a false \"seen\"\n"+
+				"would silently close a cycle that does not exist). Use an exact backend:\n\n"+
+				"\tverc3-verify -system %s -liveness -visited flat|map|spill\n", *system)
 		os.Exit(2)
 	}
 
@@ -100,6 +115,7 @@ func main() {
 		// profile is being taken; the labels cost a goroutine-label store
 		// per phase switch.
 		ProfileLabels: *cpuProf != "",
+		Liveness:      *liveness,
 		Visited:       backend,
 		BitstateMB:    *bitstateM,
 		SpillMem:      int64(*spillMB) << 20,
@@ -119,6 +135,9 @@ func main() {
 	fmt.Printf("states:      %d\n", res.Stats.VisitedStates)
 	fmt.Printf("transitions: %d\n", res.Stats.FiredTransitions)
 	fmt.Printf("max depth:   %d\n", res.Stats.MaxDepth)
+	if *liveness {
+		fmt.Printf("ndfs:        %d blue + %d red product states\n", res.Space.LiveStates, res.Space.RedStates)
+	}
 	fmt.Printf("elapsed:     %v\n", time.Since(start).Round(time.Millisecond))
 	if !res.Exact {
 		fmt.Printf("exact:       false (bitstate storage; p(state omitted) ~ %.2g — counts are lower bounds)\n",

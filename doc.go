@@ -9,8 +9,9 @@
 //
 //   - internal/ts and internal/dsl — the guarded-command modelling layer: a
 //     Murphi-like embedded DSL in which systems describe initial states,
-//     enabled transitions, invariants, reachability goals and synthesis
-//     holes (ts.Env.Choose). States key themselves twice over: the
+//     enabled transitions, invariants, reachability goals, liveness goals
+//     with weak-fairness constraints (ts.LivenessReporter /
+//     ts.FairnessReporter) and synthesis holes (ts.Env.Choose). States key themselves twice over: the
 //     mandatory human-readable Key() string (traces, fallback) and the
 //     optional ts.KeyAppender binary encoding appended into caller-owned
 //     buffers, which is what the exploration hot path hashes.
@@ -36,7 +37,10 @@
 //   - internal/mc — the embedded explicit-state model checker: sequential
 //     (deterministic, minimal BFS counterexamples) and level-parallel BFS
 //     drivers over the shared fingerprint keying scheme with per-worker
-//     keyer scratch, three-valued verdicts, deadlock and goal checking.
+//     keyer scratch, three-valued verdicts, deadlock and goal checking,
+//     plus an opt-in nested-DFS liveness pass (mc.Options.Liveness) that
+//     checks declared ts.LivenessGoal properties under weak fairness and
+//     reports violations as lasso counterexamples (stem + cycle).
 //   - internal/core — the paper's contribution: synthesis by lazy hole
 //     discovery and candidate pruning, with cross-candidate and intra-check
 //     parallelism sharing one budget (core.SplitParallelism).
@@ -115,6 +119,26 @@
 // (pinned <= 10 by regression test; mc.Options.NoRecycle and
 // FreshTransitions are the ablation knobs, and -stats reports
 // pool hit/miss/recycled counts).
+//
+// # Liveness checking
+//
+// Safety exploration answers "nothing bad is reachable"; the liveness
+// pass (mc.Options.Liveness) answers "something good eventually happens".
+// Systems declare ts.LivenessGoal properties — eventually-always (FG P)
+// and leads-to (G(P -> F Q)) — optionally under weak fairness; the
+// checker negates each goal into a Büchi monitor, products it with the
+// system (fairness via Choueka counter copies) and runs a nested DFS
+// (blue search for accepting states, red search for cycles through them)
+// over the same fingerprint/visited/recycling substrate as the safety
+// pass. Violations surface as lasso counterexamples: a stem into a cycle
+// that repeats forever, rendered by internal/trace with cycle markers and
+// replay-validated in the differential tests. Because nested DFS needs
+// exact "seen before" answers, the lossy bitstate backend is refused
+// (mc.ErrLivenessInexact); a liveness failure prunes synthesis candidates
+// exactly like a safety failure. Token-ring and Peterson pass their
+// goals; the complete MSI protocol is a pinned true positive (no network
+// fairness is declared, so a writer can starve behind undelivered
+// messages).
 //
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation plus this repo's ablations (parallel

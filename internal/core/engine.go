@@ -97,6 +97,16 @@ type Config struct {
 	// for intra-check parallelism; trace recording is off during the search
 	// and on for the final per-solution re-verification).
 	//
+	// MC.Liveness extends every dispatch with the nested-DFS liveness
+	// phase: candidates whose completions admit an accepting lasso fail
+	// on the new axis and are pruned like any other failure. A lasso
+	// found under a partial assignment fired only concretely resolved
+	// holes (wildcard branches are dropped, and dropping edges cannot
+	// create cycles), so it persists under every extension — liveness
+	// failures carry an all-ones UsageMask and are never
+	// trace-generalized. Re-verification runs with the same option, so a
+	// winner is re-confirmed on the liveness axis too.
+	//
 	// MC.Visited must be an exact backend: synthesis dispatches run on the
 	// flat table by default (the zero value); the disk-spilling tier is
 	// equally acceptable (exact, just RAM-bounded), while the lossy

@@ -3,8 +3,9 @@
 //
 // Instead of implementing the five-method ts.System interface by hand, a
 // model declares guarded rules, rulesets (rules replicated over a parameter
-// range, like Murphi's `ruleset i: cid do … end`), invariants and goals on a
-// Builder. Rule actions mutate a typed clone of the state in place — the
+// range, like Murphi's `ruleset i: cid do … end`), invariants, reach goals,
+// liveness goals (EventuallyAlways / LeadsTo, with Fair weak-fairness
+// declarations) on a Builder. Rule actions mutate a typed clone of the state in place — the
 // builder handles cloning, so the usual "Clone then cast then mutate then
 // return" boilerplate disappears:
 //
@@ -56,6 +57,8 @@ type Builder[S Mutable] struct {
 	rules   []rule[S]
 	invs    []ts.Invariant
 	goals   []ts.ReachGoal
+	live    []ts.LivenessGoal
+	fair    []ts.Fairness
 	quiet   func(S) bool
 
 	// Successor pool, used only when S implements ts.StateCopier (poolable).
@@ -206,6 +209,47 @@ func (b *Builder[S]) Goal(name string, holds func(S) bool) *Builder[S] {
 	return b
 }
 
+// EventuallyAlways adds the liveness goal FG p — "from some point on, p
+// holds forever" — checked by the nested-DFS driver under mc.Options
+// Liveness. With fair set, only weakly fair executions (see Fair) count as
+// counterexamples.
+func (b *Builder[S]) EventuallyAlways(name string, fair bool, p func(S) bool) *Builder[S] {
+	b.live = append(b.live, ts.LivenessGoal{
+		Name: name,
+		Kind: ts.EventuallyAlways,
+		Fair: fair,
+		P:    func(s ts.State) bool { return p(s.(S)) },
+	})
+	return b
+}
+
+// LeadsTo adds the liveness goal G(p → F q) — "whenever p holds, q
+// eventually holds" — checked by the nested-DFS driver. With fair set, only
+// weakly fair executions count as counterexamples.
+func (b *Builder[S]) LeadsTo(name string, fair bool, p, q func(S) bool) *Builder[S] {
+	b.live = append(b.live, ts.LivenessGoal{
+		Name: name,
+		Kind: ts.LeadsTo,
+		Fair: fair,
+		P:    func(s ts.State) bool { return p(s.(S)) },
+		Q:    func(s ts.State) bool { return q(s.(S)) },
+	})
+	return b
+}
+
+// Fair declares a weak-fairness requirement: executions that keep the
+// requirement continuously enabled without ever taking one of its
+// transitions are excluded from Fair liveness goals. taken receives a fired
+// transition's name.
+func (b *Builder[S]) Fair(name string, enabled func(S) bool, taken func(rule string) bool) *Builder[S] {
+	b.fair = append(b.fair, ts.Fairness{
+		Name:    name,
+		Enabled: func(s ts.State) bool { return enabled(s.(S)) },
+		Taken:   taken,
+	})
+	return b
+}
+
 // Quiescent marks states where having no enabled rule is acceptable rather
 // than a deadlock.
 func (b *Builder[S]) Quiescent(pred func(S) bool) *Builder[S] {
@@ -271,6 +315,12 @@ func (x *built[S]) Invariants() []ts.Invariant { return x.b.invs }
 
 // Goals implements ts.GoalReporter.
 func (x *built[S]) Goals() []ts.ReachGoal { return x.b.goals }
+
+// LivenessGoals implements ts.LivenessReporter.
+func (x *built[S]) LivenessGoals() []ts.LivenessGoal { return x.b.live }
+
+// WeakFairness implements ts.FairnessReporter.
+func (x *built[S]) WeakFairness() []ts.Fairness { return x.b.fair }
 
 // Quiescent implements ts.QuiescentReporter.
 func (x *built[S]) Quiescent(s ts.State) bool {

@@ -5,6 +5,7 @@ package mc_test
 // everything matching TestZooEquivalence as a dedicated job step.
 
 import (
+	"fmt"
 	"testing"
 
 	"verc3/internal/mc"
@@ -425,5 +426,111 @@ func TestNoTraceMemoryReduction(t *testing.T) {
 		perOn, perOff, 100*(1-perOff/perOn))
 	if perOff > 0.6*perOn {
 		t.Errorf("bytes/state with traces off = %.1f, want <= 60%% of trace-on %.1f", perOff, perOn)
+	}
+}
+
+// TestZooEquivalenceLiveness is the differential harness for the nested-DFS
+// liveness driver: for every zoo entry carrying liveness goals, the verdict,
+// cycle presence, and the NDFS product-state counts must be identical across
+// visited backends (flat/map/spill) × keying paths (binary appender /
+// legacy string keys) × symmetry on/off. The symmetry axis is the sharp
+// one: the NDFS phase deliberately keys raw product encodings even when the
+// safety pass reduces, so its counts must not move when symmetry flips.
+// Failing entries must additionally report byte-identical lassos whose
+// replay re-fires the recorded transition names and closes the cycle — the
+// fingerprint-collision detector, mirroring PR 2's re-verification
+// rationale.
+func TestZooEquivalenceLiveness(t *testing.T) {
+	for _, name := range zoo.Names() {
+		if name == "msi-complete-4" {
+			// The 4-cache stress entry is pinned for backend benchmarks;
+			// its liveness product adds nothing the 2-cache run doesn't.
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sys, err := zoo.Get(name, zoo.Params{Caches: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lr, ok := sys.(ts.LivenessReporter); !ok || len(lr.LivenessGoals()) == 0 {
+				t.Skip("no liveness goals")
+			}
+			type combo struct {
+				backend    visited.Kind
+				stringKeys bool
+				symmetry   bool
+			}
+			var combos []combo
+			for _, backend := range []visited.Kind{visited.Flat, visited.Map, visited.Spill} {
+				for _, stringKeys := range []bool{false, true} {
+					for _, symmetry := range []bool{false, true} {
+						combos = append(combos, combo{backend, stringKeys, symmetry})
+					}
+				}
+			}
+			var base *mc.Result
+			for _, cb := range combos {
+				tag := fmt.Sprintf("visited=%v stringKeys=%v symmetry=%v", cb.backend, cb.stringKeys, cb.symmetry)
+				sys, err := zoo.Get(name, zoo.Params{Caches: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := mc.Check(sys, mc.Options{
+					Liveness:    true,
+					RecordTrace: true,
+					Env:         ts.NewEnv(wildcardChooser{}), // complete models never call Choose
+					Visited:     cb.backend,
+					StringKeys:  cb.stringKeys,
+					Symmetry:    cb.symmetry,
+					SpillMem:    1, // floor: force flushes on even tiny spaces
+					SpillDir:    t.TempDir(),
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", tag, err)
+				}
+				if res.Verdict == mc.Failure && res.Failure.Kind == mc.FailLiveness && !zoo.IsSketch(name) {
+					replayLasso(t, sys, res.Failure)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if res.Verdict != base.Verdict {
+					t.Errorf("%s: verdict %v, want %v", tag, res.Verdict, base.Verdict)
+				}
+				gotCycle := res.Failure != nil && res.Failure.Kind == mc.FailLiveness
+				wantCycle := base.Failure != nil && base.Failure.Kind == mc.FailLiveness
+				if gotCycle != wantCycle {
+					t.Errorf("%s: cycle presence %v, want %v", tag, gotCycle, wantCycle)
+				}
+				// The NDFS phase keys unreduced product encodings, so its
+				// counts are invariant across every axis — including
+				// symmetry, which only reduces the safety pass.
+				if res.Space.LiveStates != base.Space.LiveStates || res.Space.RedStates != base.Space.RedStates {
+					t.Errorf("%s: ndfs states %d+%dred, want %d+%dred", tag,
+						res.Space.LiveStates, res.Space.RedStates, base.Space.LiveStates, base.Space.RedStates)
+				}
+				if res.Space.CycleLen != base.Space.CycleLen {
+					t.Errorf("%s: cycle length %d, want %d", tag, res.Space.CycleLen, base.Space.CycleLen)
+				}
+				if gotCycle && wantCycle {
+					if res.Failure.Name != base.Failure.Name || res.Failure.CycleStart != base.Failure.CycleStart ||
+						len(res.Failure.Trace) != len(base.Failure.Trace) {
+						t.Errorf("%s: lasso %q start=%d steps=%d, want %q start=%d steps=%d", tag,
+							res.Failure.Name, res.Failure.CycleStart, len(res.Failure.Trace),
+							base.Failure.Name, base.Failure.CycleStart, len(base.Failure.Trace))
+					} else {
+						for i, step := range res.Failure.Trace {
+							if step.Rule != base.Failure.Trace[i].Rule || step.State.Key() != base.Failure.Trace[i].State.Key() {
+								t.Errorf("%s: lasso diverges at step %d: %q/%q vs %q/%q", tag, i,
+									step.Rule, step.State.Key(), base.Failure.Trace[i].Rule, base.Failure.Trace[i].State.Key())
+								break
+							}
+						}
+					}
+				}
+			}
+		})
 	}
 }

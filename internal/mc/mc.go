@@ -65,6 +65,20 @@
 // synthesis a branch that reaches a hole still assigned the wildcard action
 // is aborted, and if no failure is found elsewhere the run is "unknown"
 // rather than a success.
+//
+// # Liveness
+//
+// Options.Liveness adds a second phase after a non-failing safety pass: a
+// sequential nested-DFS cycle search (Courcoubetis–Vardi–Wolper style with
+// Schwoon–Esparza early detection) per ts.LivenessGoal, over the product of
+// the state graph with the goal's negated Büchi monitor and — for Fair
+// goals — the weak-fairness copies construction. Violations are lassos:
+// FailLiveness failures carry a stem-plus-cycle trace (FailureInfo.
+// CycleStart) whose replay closes a real cycle. The phase shares the
+// fingerprint pipeline, visited backends (exact only; see
+// ErrLivenessInexact) and successor recycling with the safety drivers, and
+// reports its own counters in Result.Space (LiveStates, RedStates,
+// CycleLen). See liveness.go.
 package mc
 
 import (
@@ -120,6 +134,10 @@ const (
 	// FailGoal: exploration completed without wildcards but a reachability
 	// goal was never witnessed.
 	FailGoal
+	// FailLiveness: a liveness goal is violated by a lasso — a reachable
+	// cycle along which the goal's negation holds forever (found by the
+	// nested-DFS driver under Options.Liveness).
+	FailLiveness
 )
 
 // String returns the failure-kind name.
@@ -131,6 +149,8 @@ func (k FailKind) String() string {
 		return "deadlock"
 	case FailGoal:
 		return "goal"
+	case FailLiveness:
+		return "liveness"
 	default:
 		return fmt.Sprintf("FailKind(%d)", int(k))
 	}
@@ -149,9 +169,18 @@ type FailureInfo struct {
 	Trace []TraceStep
 	// UsageMask is the bitmask of hole indices consulted along the error
 	// path (see UsageTracker). For goal failures every bit is set, since
-	// the violation is a property of the whole explored space. Zero when no
-	// tracker is installed.
+	// the violation is a property of the whole explored space; liveness
+	// failures also set every bit — the nested-DFS phase does not track
+	// usage, and a lasso found under a partial assignment fires only
+	// concretely resolved holes, so it persists under every extension.
+	// Zero when no tracker is installed.
 	UsageMask uint64
+	// CycleStart is meaningful only for FailLiveness with a recorded Trace:
+	// the trace is a lasso, and CycleStart is the index of the step the
+	// cycle loops back to. Trace[CycleStart:] is the cycle — its final step
+	// fires the closing transition and its state revisits
+	// Trace[CycleStart].State. Steps before CycleStart are the stem.
+	CycleStart int
 }
 
 // TraceStep is one state of a counterexample trace.
@@ -310,6 +339,18 @@ type Options struct {
 	// phase transition; leave it off except when profiling (the cmd/ tools
 	// set it alongside -cpuprofile).
 	ProfileLabels bool
+	// Liveness additionally checks the system's liveness goals
+	// (ts.LivenessReporter) after a safety pass that found no violation:
+	// a sequential nested-DFS cycle search per goal over the product with
+	// the goal's negated Büchi monitor (and, for Fair goals, the weak-
+	// fairness copies). Requires an exact visited backend — Check returns
+	// ErrLivenessInexact under bitstate, whose omissions could hide a real
+	// cycle or fabricate a spurious one. The liveness phase keys product
+	// states without symmetry reduction even when Symmetry is set (the
+	// safety pass still reduces): per-process predicates like "process i
+	// holds the token" are not permutation-invariant, so cycle detection
+	// on the quotient graph would be unsound. See internal/mc/liveness.go.
+	Liveness bool
 }
 
 // item is one frontier entry of the sequential driver: the state itself
@@ -436,11 +477,31 @@ func Check(sys ts.System, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// check dispatches to the selected exploration driver.
+// check dispatches to the selected exploration driver, then — under
+// Options.Liveness — runs the nested-DFS liveness phase on the safety
+// pass's non-failing result.
 func check(sys ts.System, opt Options) (*Result, error) {
-	if useParallel(opt) {
-		return checkParallel(sys, opt)
+	if opt.Liveness && !opt.Visited.Exact() {
+		return nil, fmt.Errorf("mc: visited backend %q is lossy; %w", opt.Visited, ErrLivenessInexact)
 	}
+	var res *Result
+	var err error
+	if useParallel(opt) {
+		res, err = checkParallel(sys, opt)
+	} else {
+		res, err = checkSequential(sys, opt)
+	}
+	if err != nil || !opt.Liveness || res.Verdict == Failure {
+		return res, err
+	}
+	if lerr := checkLiveness(sys, opt, res); lerr != nil {
+		return nil, lerr
+	}
+	return res, nil
+}
+
+// checkSequential runs the deterministic sequential driver.
+func checkSequential(sys ts.System, opt Options) (*Result, error) {
 	c := &checker{
 		sys:     sys,
 		opt:     opt,

@@ -1,6 +1,8 @@
 package msi
 
 import (
+	"fmt"
+
 	"verc3/internal/network"
 	"verc3/internal/ts"
 )
@@ -174,4 +176,34 @@ func (sys *System) Goals() []ts.ReachGoal {
 			return s.(*State).Dir.St == DirM
 		}},
 	}
+}
+
+// LivenessGoals implements ts.LivenessReporter: a cache with a write in
+// flight (the transient IM^AD / IM^A / SM^W states) eventually reaches M.
+// This is a TRUE NEGATIVE by design: with no fairness assumption (Fair is
+// false — the network substrate has no per-message delivery fairness to
+// declare), another cache holding M can absorb local stores forever while
+// the requester's GetM sits undelivered, so the checker reports a lasso.
+// The zoo's differential harness pins that counterexample; it is the
+// suite's known-answer liveness failure, exactly as the paper's handshake
+// invariants exist because deadlock detection alone misses parked
+// transactions.
+func (sys *System) LivenessGoals() []ts.LivenessGoal {
+	goals := make([]ts.LivenessGoal, 0, sys.cfg.Caches)
+	for i := 0; i < sys.cfg.Caches; i++ {
+		i := i
+		goals = append(goals, ts.LivenessGoal{
+			Name: fmt.Sprintf("cache%d-write-completes", i),
+			Kind: ts.LeadsTo,
+			P: func(s ts.State) bool {
+				switch s.(*State).Caches[i].St {
+				case CacheIMAD, CacheIMA, CacheSMW:
+					return true
+				}
+				return false
+			},
+			Q: func(s ts.State) bool { return s.(*State).Caches[i].St == CacheM },
+		})
+	}
+	return goals
 }

@@ -21,6 +21,7 @@ package mutex
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -313,4 +314,50 @@ func (sys *System) Goals() []ts.ReachGoal {
 			return st.VisitedCrit && st.PCs[0] == Idle && st.PCs[1] == Idle && !st.Flag[0] && !st.Flag[1]
 		}},
 	}
+}
+
+// LivenessGoals implements ts.LivenessReporter: starvation freedom. A
+// process that has raised its flag (SetTurn or Wait) eventually enters the
+// critical section. Peterson's turn-write makes this hold — a looping
+// contender hands the turn to the waiter and then self-blocks — so the
+// goals pass under weak fairness (and, for this algorithm, even without
+// it: the contender's self-block leaves the waiter's step as the only
+// enabled transition, so no infinite run avoids it).
+func (sys *System) LivenessGoals() []ts.LivenessGoal {
+	goals := make([]ts.LivenessGoal, 0, 2)
+	for me := 0; me < 2; me++ {
+		me := me
+		goals = append(goals, ts.LivenessGoal{
+			Name: fmt.Sprintf("p%d-requests-leads-to-crit", me),
+			Kind: ts.LeadsTo,
+			Fair: true,
+			P: func(s ts.State) bool {
+				pc := s.(*State).PCs[me]
+				return pc == SetTurn || pc == Wait
+			},
+			Q: func(s ts.State) bool { return s.(*State).PCs[me] == Crit },
+		})
+	}
+	return goals
+}
+
+// WeakFairness implements ts.FairnessReporter: per-process scheduling
+// fairness — a process with an enabled step is eventually scheduled. A
+// process always has an enabled step except at Wait with the entry
+// condition false.
+func (sys *System) WeakFairness() []ts.Fairness {
+	reqs := make([]ts.Fairness, 0, 2)
+	for me := 0; me < 2; me++ {
+		me := me
+		prefix := fmt.Sprintf("p%d:", me)
+		reqs = append(reqs, ts.Fairness{
+			Name: fmt.Sprintf("p%d-scheduled", me),
+			Enabled: func(s ts.State) bool {
+				st := s.(*State)
+				return st.PCs[me] != Wait || !st.Flag[1-me] || st.Turn == int8(me)
+			},
+			Taken: func(rule string) bool { return strings.HasPrefix(rule, prefix) },
+		})
+	}
+	return reqs
 }

@@ -81,6 +81,18 @@ type Stats struct {
 	PoolHits   uint64
 	PoolMisses uint64
 	Recycled   uint64
+	// LiveStates and RedStates are the nested-DFS liveness phase's product
+	// state counts: distinct product states admitted to the outer (blue)
+	// search and to the nested (red) cycle search, summed over all goals.
+	// Product states are (system state, monitor, fairness copy) triples, so
+	// LiveStates can exceed the safety pass's States. Both zero when no
+	// liveness phase ran.
+	LiveStates int
+	RedStates  int
+	// CycleLen is the length (in transitions) of the reported accepting
+	// cycle when a liveness goal failed; zero otherwise. After Merge, the
+	// longest single cycle.
+	CycleLen int
 }
 
 // SetRetained computes BytesRetained from the structural counters, given
@@ -138,6 +150,11 @@ func (s *Stats) Merge(o Stats) {
 	s.PoolHits += o.PoolHits
 	s.PoolMisses += o.PoolMisses
 	s.Recycled += o.Recycled
+	s.LiveStates += o.LiveStates
+	s.RedStates += o.RedStates
+	if o.CycleLen > s.CycleLen {
+		s.CycleLen = o.CycleLen
+	}
 }
 
 // String renders the profile on one line, e.g. for -stats outputs.
@@ -158,6 +175,12 @@ func (s Stats) String() string {
 	}
 	if s.PoolHits > 0 || s.PoolMisses > 0 || s.Recycled > 0 {
 		out += fmt.Sprintf(" pool=%d-hit/%d-miss recycled=%d", s.PoolHits, s.PoolMisses, s.Recycled)
+	}
+	if s.LiveStates > 0 || s.RedStates > 0 {
+		out += fmt.Sprintf(" ndfs=%d+%dred", s.LiveStates, s.RedStates)
+	}
+	if s.CycleLen > 0 {
+		out += fmt.Sprintf(" cycle=%d", s.CycleLen)
 	}
 	return out
 }

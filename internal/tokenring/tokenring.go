@@ -16,6 +16,7 @@ package tokenring
 
 import (
 	"fmt"
+	"strings"
 
 	"verc3/internal/dsl"
 	"verc3/internal/ts"
@@ -101,6 +102,16 @@ func New(sketch bool) ts.System {
 	for i := 0; i < N; i++ {
 		i := i
 		b.Goal(fmt.Sprintf("p%d-eventually-enters", i), func(s *ring) bool { return s.EverCrit[i] })
+		// Every process holds the token infinitely often — a leads-to with a
+		// trivially true premise. Weak fairness is declared per process (its
+		// enter/leave rules must not be continuously enabled yet never
+		// taken), which is what rules out the holder idling forever.
+		b.LeadsTo(fmt.Sprintf("p%d-holds-token", i), true,
+			func(*ring) bool { return true },
+			func(s *ring) bool { return int(s.Holder) == i })
+		b.Fair(fmt.Sprintf("p%d-progress", i),
+			func(s *ring) bool { return (int(s.Holder) == i && s.InCrit == -1) || int(s.InCrit) == i },
+			func(rule string) bool { return strings.HasPrefix(rule, fmt.Sprintf("p%d:", i)) })
 	}
 	return b.System()
 }

@@ -1,6 +1,13 @@
 // Package trace renders model-checker counterexamples for humans. The
 // paper's workflow surfaces minimal error traces to the protocol designer;
 // this package turns mc.FailureInfo values into readable reports.
+//
+// Safety failures render as a straight numbered path. Liveness failures
+// (mc.FailLiveness) are lassos: the steps before FailureInfo.CycleStart are
+// the stem, a marker line separates them from the cycle, and a closing line
+// after the final step names the step the cycle loops back to. Truncation
+// never cuts into the cycle — a lasso report without its cycle would be
+// meaningless — so MaxSteps elides stem steps only.
 package trace
 
 import (
@@ -12,7 +19,8 @@ import (
 
 // Options controls rendering.
 type Options struct {
-	// MaxSteps truncates long traces (0 = unlimited).
+	// MaxSteps truncates long traces (0 = unlimited). For lassos only the
+	// stem is truncatable; the cycle is always rendered whole.
 	MaxSteps int
 	// ShowStates includes each state's String()/Key() rendering.
 	ShowStates bool
@@ -33,24 +41,38 @@ func Format(f *mc.FailureInfo, opt Options) string {
 		}
 		return b.String()
 	}
+	lasso := f.Kind == mc.FailLiveness
 	steps := f.Trace
 	truncated := 0
 	if opt.MaxSteps > 0 && len(steps) > opt.MaxSteps {
 		truncated = len(steps) - opt.MaxSteps
-		steps = steps[len(steps)-opt.MaxSteps:]
+		if lasso && truncated > f.CycleStart {
+			truncated = f.CycleStart // never elide into the cycle
+		}
+		steps = steps[truncated:]
 	}
 	if truncated > 0 {
 		fmt.Fprintf(&b, "... %d earlier steps elided ...\n", truncated)
 	}
 	for i, st := range steps {
+		n := i + truncated
+		// The cycle's transitions are the steps after CycleStart; the
+		// marker sits between the step that arrives at the loop state and
+		// the first step that repeats forever.
+		if lasso && n == f.CycleStart+1 {
+			fmt.Fprintf(&b, "     --- cycle starts here (repeats forever) ---\n")
+		}
 		rule := st.Rule
 		if rule == "" {
 			rule = "(initial state)"
 		}
-		fmt.Fprintf(&b, "%3d. %s\n", i+truncated, rule)
+		fmt.Fprintf(&b, "%3d. %s\n", n, rule)
 		if opt.ShowStates {
 			fmt.Fprintf(&b, "     %s\n", stateString(st))
 		}
+	}
+	if lasso {
+		fmt.Fprintf(&b, "     --- cycle closes: back to step %d ---\n", f.CycleStart)
 	}
 	return b.String()
 }
@@ -67,6 +89,10 @@ func stateString(st mc.TraceStep) string {
 func Summary(f *mc.FailureInfo) string {
 	if f == nil {
 		return "no failure"
+	}
+	if f.Kind == mc.FailLiveness && len(f.Trace) > 0 {
+		return fmt.Sprintf("%s violation of %q: lasso with %d-step stem and %d-step cycle",
+			f.Kind, f.Name, f.CycleStart, max(0, len(f.Trace)-1-f.CycleStart))
 	}
 	return fmt.Sprintf("%s violation of %q after %d steps", f.Kind, f.Name, max(0, len(f.Trace)-1))
 }

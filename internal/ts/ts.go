@@ -48,6 +48,17 @@
 // reused clones so they share no mutable storage with live states (see
 // StateCopier); symmetry scratch is already private (InPlacePermuter
 // Scratch), so pooling never aliases it.
+//
+// # Properties
+//
+// Systems carry three property tiers: Invariant (safety, checked on every
+// reachable state), ReachGoal ("eventually somewhere" over the reachable
+// set, via GoalReporter), and LivenessGoal (temporal properties over
+// infinite executions — "eventually always P" and "P leads-to Q" — via
+// LivenessReporter, checked by the model checker's nested-DFS cycle
+// search). Liveness goals may be restricted to weakly fair executions
+// through FairnessReporter, so idle-forever schedules don't count as
+// starvation counterexamples.
 package ts
 
 import "errors"
@@ -280,4 +291,82 @@ type QuiescentReporter interface {
 // goals (see ReachGoal).
 type GoalReporter interface {
 	Goals() []ReachGoal
+}
+
+// LivenessKind selects the temporal shape of a LivenessGoal.
+type LivenessKind int
+
+const (
+	// EventuallyAlways is "FG P": along every (fair) infinite execution the
+	// system eventually reaches a suffix on which P holds forever. Its
+	// violations are executions where ¬P recurs forever — e.g. a protocol
+	// that keeps bouncing out of its stable states.
+	EventuallyAlways LivenessKind = iota
+	// LeadsTo is "G(P → F Q)": along every (fair) infinite execution, each
+	// state satisfying P is eventually followed by a state satisfying Q —
+	// "request leads to grant". With P ≡ true this degenerates to "GF Q"
+	// (Q recurs forever), the shape of "every process holds the token
+	// infinitely often".
+	LeadsTo
+)
+
+// String returns the kind name.
+func (k LivenessKind) String() string {
+	switch k {
+	case EventuallyAlways:
+		return "eventually-always"
+	case LeadsTo:
+		return "leads-to"
+	default:
+		return "LivenessKind(?)"
+	}
+}
+
+// LivenessGoal is a temporal property over infinite executions, checked by
+// the model checker's nested-DFS driver (mc.Options.Liveness): a violation
+// is a lasso — a reachable cycle along which the property's negation holds
+// forever. Unlike ReachGoal (a property of the reachable set), a
+// LivenessGoal constrains every execution, so its counterexamples are
+// stem-plus-cycle traces rather than simple paths.
+type LivenessGoal struct {
+	Name string
+	// Kind selects the temporal shape; see LivenessKind.
+	Kind LivenessKind
+	// P is the kind's primary predicate (the P of FG P or G(P → F Q)).
+	P func(s State) bool
+	// Q is the LeadsTo target predicate; ignored by EventuallyAlways.
+	Q func(s State) bool
+	// Fair restricts the check to weakly fair executions: cycles on which a
+	// declared fairness requirement (see FairnessReporter) is continuously
+	// enabled but never taken are not counterexamples. Ignored when the
+	// system declares no fairness requirements.
+	Fair bool
+}
+
+// LivenessReporter is optionally implemented by systems that carry liveness
+// goals. The model checker consults it only under mc.Options.Liveness.
+type LivenessReporter interface {
+	LivenessGoals() []LivenessGoal
+}
+
+// Fairness is one weak-fairness requirement: an execution is weakly fair to
+// it when, infinitely often, the requirement is either not Enabled or was
+// just Taken — equivalently, it cannot stay continuously enabled while
+// being ignored forever. A requirement usually stands for one process
+// ("process i gets scheduled"), with Enabled true when the process has some
+// enabled transition and Taken matching the process's transition names.
+type Fairness struct {
+	Name string
+	// Enabled reports whether the requirement is enabled in s.
+	Enabled func(s State) bool
+	// Taken reports whether firing the named transition discharges the
+	// requirement (transition names are unique per system; see
+	// Transition.Name).
+	Taken func(rule string) bool
+}
+
+// FairnessReporter is optionally implemented by systems that declare weak-
+// fairness requirements for their Fair liveness goals (see LivenessGoal).
+type FairnessReporter interface {
+	WeakFairness() []Fairness
 }
