@@ -1,8 +1,10 @@
 // Command verc3-bench runs the headline exploration benchmarks in-process
 // (via testing.Benchmark) and writes the results as machine-readable JSON,
 // so CI can archive per-commit performance without parsing `go test -bench`
-// text output. Each entry records ns/op, B/op, allocs/op and the derived
-// states/sec throughput of the complete-MSI exploration that benchmark runs.
+// text output. Each entry records ns/op, B/op, allocs/op, the derived
+// states/sec throughput of the complete-MSI exploration that benchmark
+// runs, and an "obs" block with the telemetry view of one instrumented
+// run (collector states/sec, peak frontier, successor-pool hit rate).
 //
 // The rows are the E15 successor-lifecycle ablation (recycling ×
 // enumeration path), the sequential/parallel driver pair, and the E16
@@ -26,6 +28,7 @@ import (
 
 	"verc3/internal/mc"
 	"verc3/internal/msi"
+	"verc3/internal/obs"
 )
 
 // result is one benchmark's JSON entry.
@@ -35,6 +38,23 @@ type result struct {
 	AllocsPerOp  int64   `json:"allocs/op"`
 	States       int     `json:"states"`
 	StatesPerSec float64 `json:"states/sec"`
+	Obs          obsRow  `json:"obs"`
+}
+
+// obsRow carries the telemetry view of one row: figures derived from the
+// final obs.Snapshot and timeline of a single instrumented run, taken
+// after the timed iterations so the collector never perturbs ns/op.
+type obsRow struct {
+	// StatesPerSec is the collector's own rate (final states counter over
+	// collector elapsed time) — it prices one cold run, where the ns/op
+	// figure above averages warm iterations.
+	StatesPerSec float64 `json:"states/sec"`
+	// PeakFrontier is the largest frontier gauge any level-boundary
+	// timeline mark observed.
+	PeakFrontier uint64 `json:"peak_frontier"`
+	// PoolHitRate is successor-pool hits/(hits+misses); 0 when the run
+	// never touched the pool (NoRecycle rows).
+	PoolHitRate float64 `json:"pool_hit_rate"`
 }
 
 // output is the whole BENCH_explore.json document.
@@ -115,6 +135,26 @@ func main() {
 				}
 			}
 		})
+		// One instrumented run after the timed loop: the collector's final
+		// snapshot and timeline yield the row's telemetry figures without
+		// the timed iterations ever paying for them.
+		col := obs.New()
+		opt.Obs = col
+		if _, err := exploreOnce(sys, opt, want); err != nil {
+			fmt.Fprintf(os.Stderr, "verc3-bench: %s (instrumented): %v\n", r.name, err)
+			os.Exit(1)
+		}
+		snap := col.Snapshot()
+		peak := uint64(0)
+		for _, s := range col.Timeline() {
+			if f := s.Gauges[obs.GFrontier]; f > peak {
+				peak = f
+			}
+		}
+		hitRate := 0.0
+		if h, m := snap.Gauges[obs.GPoolHits], snap.Gauges[obs.GPoolMisses]; h+m > 0 {
+			hitRate = float64(h) / float64(h+m)
+		}
 		ns := float64(br.NsPerOp())
 		doc.Benchmarks[r.name] = result{
 			NsPerOp:      ns,
@@ -122,6 +162,11 @@ func main() {
 			AllocsPerOp:  br.AllocsPerOp(),
 			States:       states,
 			StatesPerSec: float64(states) / (ns / 1e9),
+			Obs: obsRow{
+				StatesPerSec: float64(snap.Counters[obs.CStates]) / (float64(snap.ElapsedNS) / 1e9),
+				PeakFrontier: peak,
+				PoolHitRate:  hitRate,
+			},
 		}
 		fmt.Fprintf(os.Stderr, "%-20s %12.0f ns/op %10d B/op %8d allocs/op %10.0f states/sec\n",
 			r.name, ns, br.AllocedBytesPerOp(), br.AllocsPerOp(), float64(states)/(ns/1e9))

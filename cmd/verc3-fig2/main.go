@@ -6,7 +6,12 @@
 // Usage:
 //
 //	verc3-fig2 [-visited flat|map|spill] [-bitstate-mb N] [-spill-mem-mb N]
-//	           [-spill-dir DIR] [-cpuprofile FILE] [-memprofile FILE] [-stats]
+//	           [-spill-dir DIR] [-progress] [-metrics-addr ADDR] [-report FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE] [-stats]
+//
+// The run-by-run table streams to stdout as candidates are evaluated;
+// the telemetry flags cover both the pruning and the naive run, and
+// -report aggregates their counters into one report.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	progress, metricsAddr, report := cliutil.TelemetryFlags()
 	flag.Parse()
 
 	if err := cliutil.FirstNegative(
@@ -51,6 +57,17 @@ func main() {
 		os.Exit(2)
 	}
 	exit := cliutil.ProfiledExit("verc3-fig2", stopProf)
+	tel, err := cliutil.StartTelemetry(cliutil.TelemetryOptions{
+		Tool:        "verc3-fig2",
+		System:      "toy-fig2",
+		Progress:    *progress,
+		MetricsAddr: *metricsAddr,
+		ReportPath:  *report,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
+		exit(2)
+	}
 
 	g := toy.Figure2()
 
@@ -73,6 +90,7 @@ func main() {
 	res, err := core.Synthesize(g, core.Config{
 		Mode: core.ModePrune,
 		MC:   mcOpt,
+		Obs:  tel.Collector(),
 		OnEvaluate: func(ev core.Event) {
 			run++
 			mark := ""
@@ -85,31 +103,44 @@ func main() {
 		},
 	})
 	if err != nil {
+		tel.Finish(nil)
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
 		exit(2)
 	}
 
-	naive, err := core.Synthesize(g, core.Config{Mode: core.ModeNaive, MC: mcOpt})
+	naive, err := core.Synthesize(g, core.Config{Mode: core.ModeNaive, MC: mcOpt, Obs: tel.Collector()})
 	if err != nil {
+		tel.Finish(nil)
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
 		exit(2)
 	}
 
-	fmt.Println()
-	fmt.Printf("pruning:  %d candidates evaluated, %d pruning patterns, %d solution(s)\n",
+	// The run table above streamed straight to stdout; only the trailing
+	// summary stages through the telemetry Status buffer, so it flushes
+	// after the -progress line clears and still lands below the table.
+	out := tel.Status()
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "pruning:  %d candidates evaluated, %d pruning patterns, %d solution(s)\n",
 		res.Stats.Evaluated, res.Stats.Patterns, len(res.Solutions))
 	for i := range res.Solutions {
-		fmt.Printf("  solution: %s\n", res.Describe(i))
+		fmt.Fprintf(out, "  solution: %s\n", res.Describe(i))
 	}
-	fmt.Printf("naive:    %d of the nominal %d candidates evaluated\n",
+	fmt.Fprintf(out, "naive:    %d of the nominal %d candidates evaluated\n",
 		naive.Stats.Evaluated, naive.Stats.CandidateSpace)
 	if *stats {
-		fmt.Printf("space (pruning): %s\n", res.Stats.Space)
-		fmt.Printf("space (naive):   %s\n", naive.Stats.Space)
+		fmt.Fprintf(out, "space (pruning): %s\n", res.Stats.Space)
+		fmt.Fprintf(out, "space (naive):   %s\n", naive.Stats.Space)
 	}
-	fmt.Println()
-	fmt.Println("Paper (Fig. 2): 10 runs with pruning versus 24 naive candidates.")
-	exit(0)
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "Paper (Fig. 2): 10 runs with pruning versus 24 naive candidates.")
+	agg := res.Stats.Space
+	agg.Merge(naive.Stats.Space)
+	code := 0
+	if err := tel.Finish(&cliutil.RunSummary{Verdict: "completed", Exact: true, Space: agg}); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
+		code = 2
+	}
+	exit(code)
 }
 
 // describe renders a candidate in the paper's ⟨1@A, 2@?⟩ notation; holes

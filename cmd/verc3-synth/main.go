@@ -7,8 +7,15 @@
 //	verc3-synth -system msi-small [-caches 2] [-mode prune|naive]
 //	            [-workers 4] [-mc-workers 1] [-style full|trace] [-max-eval N]
 //	            [-liveness] [-visited flat|map|spill] [-spill-mem-mb N]
-//	            [-spill-dir DIR] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-spill-dir DIR] [-progress] [-metrics-addr ADDR]
+//	            [-report FILE] [-cpuprofile FILE] [-memprofile FILE]
 //	            [-stats] [-v]
+//
+// -progress renders a live status line on stderr (rounds, candidates
+// evaluated/skipped, pruning patterns, aggregate exploration rate);
+// -metrics-addr serves the same telemetry over HTTP and -report writes
+// a machine-readable run report, including the structured round and
+// solution events, at exit.
 //
 // With -liveness, every candidate dispatch additionally runs the nested-DFS
 // accepting-cycle search, so candidates that are safe but starve a liveness
@@ -49,6 +56,7 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
+	progress, metricsAddr, report := cliutil.TelemetryFlags()
 	flag.Parse()
 
 	if err := cliutil.FirstNegative(
@@ -108,53 +116,82 @@ func main() {
 		fmt.Fprintf(os.Stderr, "verc3-synth: unknown -style %q\n", *style)
 		os.Exit(2)
 	}
-	if *verbose {
-		cfg.Log = func(f string, a ...any) { fmt.Printf("· "+f+"\n", a...) }
-	}
-
 	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
 		os.Exit(2)
 	}
 	exit := cliutil.ProfiledExit("verc3-synth", stopProf)
-
-	start := time.Now()
-	res, err := core.Synthesize(sys, cfg)
+	tel, err := cliutil.StartTelemetry(cliutil.TelemetryOptions{
+		Tool:        "verc3-synth",
+		System:      *system,
+		Progress:    *progress,
+		MetricsAddr: *metricsAddr,
+		ReportPath:  *report,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
 		exit(2)
 	}
+	cfg.Obs = tel.Collector()
+	if *verbose {
+		// Route round/solution logs through the telemetry writer: they land
+		// on stderr and never tear the -progress status line (the old
+		// stdout Printf interleaved with summary and sampler output).
+		cfg.Log = func(f string, a ...any) { tel.Logf("· "+f, a...) }
+	}
+
+	start := time.Now()
+	res, err := core.Synthesize(sys, cfg)
+	if err != nil {
+		tel.Finish(nil)
+		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
+		exit(2)
+	}
 	st := res.Stats
-	fmt.Printf("system:           %s\n", sys.Name())
-	fmt.Printf("mode:             %s (%s, %d workers)\n", cfg.Mode, cfg.PruneStyle, cfg.Workers)
-	fmt.Printf("holes:            %d\n", st.Holes)
+	out := tel.Status()
+	fmt.Fprintf(out, "system:           %s\n", sys.Name())
+	fmt.Fprintf(out, "mode:             %s (%s, %d workers)\n", cfg.Mode, cfg.PruneStyle, cfg.Workers)
+	fmt.Fprintf(out, "holes:            %d\n", st.Holes)
 	for i, n := range res.HoleNames {
-		fmt.Printf("  %2d. %-24s {%s}\n", i+1, n, strings.Join(res.HoleActions[i], ", "))
+		fmt.Fprintf(out, "  %2d. %-24s {%s}\n", i+1, n, strings.Join(res.HoleActions[i], ", "))
 	}
-	fmt.Printf("candidates:       %d\n", st.CandidateSpace)
-	fmt.Printf("evaluated:        %d\n", st.Evaluated)
-	fmt.Printf("pruned (skipped): %d\n", st.Skipped)
-	fmt.Printf("pruning patterns: %d\n", st.Patterns)
-	fmt.Printf("verdicts:         %d success / %d failure / %d unknown\n", st.Successes, st.Failures, st.Unknowns)
-	fmt.Printf("rounds:           %d\n", st.Rounds)
+	fmt.Fprintf(out, "candidates:       %d\n", st.CandidateSpace)
+	fmt.Fprintf(out, "evaluated:        %d\n", st.Evaluated)
+	fmt.Fprintf(out, "pruned (skipped): %d\n", st.Skipped)
+	fmt.Fprintf(out, "pruning patterns: %d\n", st.Patterns)
+	fmt.Fprintf(out, "verdicts:         %d success / %d failure / %d unknown\n", st.Successes, st.Failures, st.Unknowns)
+	fmt.Fprintf(out, "rounds:           %d\n", st.Rounds)
 	if st.Truncated {
-		fmt.Printf("NOTE: truncated by -max-eval=%d\n", *maxEval)
+		fmt.Fprintf(out, "NOTE: truncated by -max-eval=%d\n", *maxEval)
 	}
-	fmt.Printf("elapsed:          %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "elapsed:          %v\n", time.Since(start).Round(time.Millisecond))
 	if *stats {
-		fmt.Printf("space:            %s\n", st.Space)
+		fmt.Fprintf(out, "space:            %s\n", st.Space)
 	}
-	fmt.Printf("solutions:        %d\n", len(res.Solutions))
+	fmt.Fprintf(out, "solutions:        %d\n", len(res.Solutions))
 	for i, sol := range res.Solutions {
 		mark := ""
 		if sol.Reverified {
 			mark = ", reverified"
 		}
-		fmt.Printf("  #%d (%d states%s): %s\n", i+1, sol.VisitedStates, mark, res.Describe(i))
+		fmt.Fprintf(out, "  #%d (%d states%s): %s\n", i+1, sol.VisitedStates, mark, res.Describe(i))
 	}
+	verdict := "solutions"
+	if len(res.Solutions) == 0 {
+		verdict = "no-solutions"
+	}
+	code := 0
 	if len(res.Solutions) == 0 && !st.Truncated {
-		exit(1)
+		code = 1
 	}
-	exit(0)
+	if err := tel.Finish(&cliutil.RunSummary{
+		Verdict: verdict, Exact: true, Space: st.Space,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	exit(code)
 }

@@ -14,7 +14,12 @@
 //	verc3-table1 [-caches 2] [-workers 4] [-mc-workers 1] [-naive-large-max 20000]
 //	             [-full] [-skip-naive] [-visited flat|map|spill]
 //	             [-spill-mem-mb N] [-spill-dir DIR] [-stats]
+//	             [-progress] [-metrics-addr ADDR] [-report FILE]
 //	             [-cpuprofile FILE] [-memprofile FILE]
+//
+// The telemetry flags aggregate across all six configurations: -progress
+// shows the live cross-row exploration rate, and -report records one
+// report whose counters and Space profile sum every row's dispatches.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"verc3/internal/core"
 	"verc3/internal/mc"
 	"verc3/internal/msi"
+	"verc3/internal/statespace"
 	"verc3/internal/visited"
 )
 
@@ -58,6 +64,7 @@ func main() {
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
+	progress, metricsAddr, report := cliutil.TelemetryFlags()
 	flag.Parse()
 
 	if err := cliutil.FirstNegative(
@@ -84,6 +91,17 @@ func main() {
 		os.Exit(2)
 	}
 	exit := cliutil.ProfiledExit("verc3-table1", stopProf)
+	tel, err := cliutil.StartTelemetry(cliutil.TelemetryOptions{
+		Tool:        "verc3-table1",
+		System:      "msi",
+		Progress:    *progress,
+		MetricsAddr: *metricsAddr,
+		ReportPath:  *report,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
+		exit(2)
+	}
 
 	rows := []*row{
 		{name: "MSI-small 1 thread, no pruning", variant: msi.Small, mode: core.ModeNaive, workers: 1},
@@ -97,17 +115,19 @@ func main() {
 		rows[3].truncate = 0
 	}
 
+	var aggSpace statespace.Stats
 	for _, r := range rows {
 		if *skipNaive && r.mode == core.ModeNaive {
 			continue
 		}
 		sys := msi.New(msi.Config{Caches: *caches, Variant: r.variant})
-		fmt.Fprintf(os.Stderr, "running %-34s ... ", r.name)
+		tel.Logf("running %-34s ...", r.name)
 		start := time.Now()
 		res, err := core.Synthesize(sys, core.Config{
 			Mode:      r.mode,
 			Workers:   r.workers,
 			MCWorkers: *mcWorkers,
+			Obs:       tel.Collector(),
 			MC: mc.Options{
 				Symmetry:   true,
 				MemStats:   *stats,
@@ -121,21 +141,24 @@ func main() {
 			MaxEvaluations: r.truncate,
 		})
 		if err != nil {
+			tel.Finish(nil)
 			fmt.Fprintln(os.Stderr, "error:", err)
 			exit(2)
 		}
 		r.res = res
 		r.elapsed = time.Since(start)
+		aggSpace.Merge(res.Stats.Space)
 		if res.Stats.Truncated {
 			perCand := r.elapsed / time.Duration(res.Stats.Evaluated)
 			r.fullSpace = res.Stats.CandidateSpace
 			r.extrapol = perCand * time.Duration(r.fullSpace)
 		}
-		fmt.Fprintf(os.Stderr, "%v\n", r.elapsed.Round(time.Millisecond))
+		tel.Logf("  %-34s %v", r.name, r.elapsed.Round(time.Millisecond))
 	}
 
-	fmt.Printf("\nTable I (regenerated; caches=%d, GOMAXPROCS-bound parallelism)\n\n", *caches)
-	fmt.Printf("%-34s %6s %14s %18s %12s %10s %14s\n",
+	out := tel.Status()
+	fmt.Fprintf(out, "\nTable I (regenerated; caches=%d, GOMAXPROCS-bound parallelism)\n\n", *caches)
+	fmt.Fprintf(out, "%-34s %6s %14s %18s %12s %10s %14s\n",
 		"Configuration", "Holes", "Candidates", "Pruning Patterns", "Evaluated", "Solutions", "Exec. Time")
 	for _, r := range rows {
 		if r.res == nil {
@@ -152,16 +175,16 @@ func main() {
 			tm = fmt.Sprintf("~%v (extrapolated)", r.extrapol.Round(time.Minute))
 			ev = fmt.Sprintf("%d (sampled; full=%d)", st.Evaluated, r.fullSpace)
 		}
-		fmt.Printf("%-34s %6d %14d %18s %12s %10d %14s\n",
+		fmt.Fprintf(out, "%-34s %6d %14d %18s %12s %10d %14s\n",
 			r.name, st.Holes, st.CandidateSpace, pat, ev, len(r.res.Solutions), tm)
 	}
 	if *stats {
-		fmt.Println()
+		fmt.Fprintln(out)
 		for _, r := range rows {
 			if r.res == nil {
 				continue
 			}
-			fmt.Printf("space %-28s %s\n", r.name+":", r.res.Stats.Space)
+			fmt.Fprintf(out, "space %-28s %s\n", r.name+":", r.res.Stats.Space)
 		}
 	}
 
@@ -183,18 +206,23 @@ func main() {
 		if naive.res.Stats.Truncated {
 			qual = " (naive time extrapolated)"
 		}
-		fmt.Printf("\n%s: evaluated-candidate reduction %.2f%%, speedup %.1fx%s (paper: 99.6%%/35.8x small, 99.8%%/42.7x large)\n",
+		fmt.Fprintf(out, "\n%s: evaluated-candidate reduction %.2f%%, speedup %.1fx%s (paper: 99.6%%/35.8x small, 99.8%%/42.7x large)\n",
 			prune.name, red, float64(nt)/float64(prune.elapsed), qual)
 	}
 	speedup(rows[0], rows[1])
 	speedup(rows[3], rows[4])
 	if rows[1].res != nil && rows[2].res != nil {
-		fmt.Printf("parallel small: %.2fx over 1-thread pruning (paper: 1.5x; needs >1 CPU to materialize)\n",
+		fmt.Fprintf(out, "parallel small: %.2fx over 1-thread pruning (paper: 1.5x; needs >1 CPU to materialize)\n",
 			float64(rows[1].elapsed)/float64(rows[2].elapsed))
 	}
 	if rows[4].res != nil && rows[5].res != nil {
-		fmt.Printf("parallel large: %.2fx over 1-thread pruning (paper: 2.5x; needs >1 CPU to materialize)\n",
+		fmt.Fprintf(out, "parallel large: %.2fx over 1-thread pruning (paper: 2.5x; needs >1 CPU to materialize)\n",
 			float64(rows[4].elapsed)/float64(rows[5].elapsed))
 	}
-	exit(0)
+	code := 0
+	if err := tel.Finish(&cliutil.RunSummary{Verdict: "completed", Exact: true, Space: aggSpace}); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
+		code = 2
+	}
+	exit(code)
 }

@@ -9,7 +9,14 @@
 //	             [-liveness] [-dfs] [-workers N] [-shard-bits B] [-no-trace]
 //	             [-no-recycle] [-stats] [-visited flat|map|bitstate|spill]
 //	             [-bitstate-mb N] [-spill-mem-mb N] [-spill-dir DIR]
+//	             [-progress] [-metrics-addr ADDR] [-report FILE]
 //	             [-cpuprofile FILE] [-memprofile FILE]
+//
+// -progress renders a live status line on stderr (states/sec, depth,
+// frontier, visited memory, cap %), -metrics-addr serves the same
+// telemetry over HTTP (/metrics Prometheus text, /metrics.json), and
+// -report writes a versioned machine-readable run report at exit
+// (validate or summarize it with verc3-report).
 //
 // With -liveness, systems declaring liveness goals additionally run the
 // nested-DFS accepting-cycle search after the safety pass; violations
@@ -53,6 +60,7 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
+	progress, metricsAddr, report := cliutil.TelemetryFlags()
 	flag.Parse()
 
 	if err := cliutil.FirstNegative(
@@ -103,7 +111,19 @@ func main() {
 		os.Exit(2)
 	}
 	exit := cliutil.ProfiledExit("verc3-verify", stopProf)
+	tel, err := cliutil.StartTelemetry(cliutil.TelemetryOptions{
+		Tool:        "verc3-verify",
+		System:      *system,
+		Progress:    *progress,
+		MetricsAddr: *metricsAddr,
+		ReportPath:  *report,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
+		exit(2)
+	}
 	opt := mc.Options{
+		Obs:         tel.Collector(),
 		Symmetry:    *symmetry,
 		RecordTrace: !*noTrace,
 		MaxStates:   *maxSt,
@@ -127,29 +147,43 @@ func main() {
 	start := time.Now()
 	res, err := mc.Check(sys, opt)
 	if err != nil {
+		tel.Finish(nil)
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
 		exit(2)
 	}
-	fmt.Printf("system:      %s\n", sys.Name())
-	fmt.Printf("verdict:     %s\n", res.Verdict)
-	fmt.Printf("states:      %d\n", res.Stats.VisitedStates)
-	fmt.Printf("transitions: %d\n", res.Stats.FiredTransitions)
-	fmt.Printf("max depth:   %d\n", res.Stats.MaxDepth)
+	// The whole human-readable summary stages into the telemetry Status
+	// buffer and lands in one flush inside Finish, after the -progress
+	// status line is gone — no interleaving with sampler repaints.
+	st := tel.Status()
+	fmt.Fprintf(st, "system:      %s\n", sys.Name())
+	fmt.Fprintf(st, "verdict:     %s\n", res.Verdict)
+	fmt.Fprintf(st, "states:      %d\n", res.Stats.VisitedStates)
+	fmt.Fprintf(st, "transitions: %d\n", res.Stats.FiredTransitions)
+	fmt.Fprintf(st, "max depth:   %d\n", res.Stats.MaxDepth)
 	if *liveness {
-		fmt.Printf("ndfs:        %d blue + %d red product states\n", res.Space.LiveStates, res.Space.RedStates)
+		fmt.Fprintf(st, "ndfs:        %d blue + %d red product states\n", res.Space.LiveStates, res.Space.RedStates)
 	}
-	fmt.Printf("elapsed:     %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(st, "elapsed:     %v\n", time.Since(start).Round(time.Millisecond))
 	if !res.Exact {
-		fmt.Printf("exact:       false (bitstate storage; p(state omitted) ~ %.2g — counts are lower bounds)\n",
+		fmt.Fprintf(st, "exact:       false (bitstate storage; p(state omitted) ~ %.2g — counts are lower bounds)\n",
 			res.Space.OmissionProb)
 	}
 	if *stats {
-		fmt.Printf("space:       %s\n", res.Space)
+		fmt.Fprintf(st, "space:       %s\n", res.Space)
 	}
+	code := 0
 	if res.Verdict == mc.Failure {
-		fmt.Println()
-		fmt.Print(trace.Format(res.Failure, trace.Options{ShowStates: *states}))
-		exit(1)
+		fmt.Fprintln(st)
+		fmt.Fprint(st, trace.Format(res.Failure, trace.Options{ShowStates: *states}))
+		code = 1
 	}
-	exit(0)
+	if err := tel.Finish(&cliutil.RunSummary{
+		Verdict: res.Verdict.String(), Exact: res.Exact, Space: res.Space,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	exit(code)
 }

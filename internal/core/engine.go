@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"verc3/internal/mc"
+	"verc3/internal/obs"
 	"verc3/internal/statespace"
 	"verc3/internal/ts"
 	"verc3/internal/visited"
@@ -119,8 +120,26 @@ type Config struct {
 	// model-checker dispatches (Stats.Truncated is set). Used to run scaled
 	// versions of experiments whose full runs take hours.
 	MaxEvaluations int64
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines. It is the string adapter
+	// over the structured event stream: every emitted event carries a
+	// rendered Text line, and Log receives exactly that line — so legacy
+	// consumers keep working unchanged while Events/Obs consumers get the
+	// typed fields.
 	Log func(format string, args ...any)
+	// Events, when non-nil, receives every structured progress event
+	// (round starts, solutions, re-verification drops; see obs.Event).
+	// With Workers > 1 solution events arrive concurrently; the callback
+	// must be safe.
+	Events func(obs.Event)
+	// Obs, when non-nil, aggregates live telemetry for the whole synthesis
+	// run: every model-checker dispatch publishes its exploration counters
+	// into this collector (the engine threads it through MC — leave
+	// MC.Obs zero), the engine counts evaluated/skipped/solutions and
+	// publishes round/hole/pattern gauges, and progress events land in the
+	// collector's event log. One collector spans all dispatches, so
+	// counters accumulate across candidates and gauges are last-writer-
+	// wins under concurrent dispatches.
+	Obs *obs.Collector
 	// OnEvaluate, when non-nil, receives an Event after every model-checker
 	// dispatch. With Workers > 1 events arrive concurrently (the callback
 	// must be safe) and pattern/hole counts reflect a racy snapshot; with
@@ -273,12 +292,19 @@ func Synthesize(sys ts.System, cfg Config) (*Result, error) {
 	if cfg.MC.Workers != 0 {
 		return nil, fmt.Errorf("core: Config.MC.Workers is managed by the engine; set Config.MCWorkers")
 	}
+	if cfg.MC.Obs != nil {
+		return nil, fmt.Errorf("core: Config.MC.Obs is managed by the engine; set Config.Obs")
+	}
 	if !cfg.MC.Visited.Exact() {
 		return nil, fmt.Errorf("core: visited backend %q is lossy; synthesis dispatches need an exact backend (flat, map, or spill)", cfg.MC.Visited)
 	}
 	if cfg.MCWorkers <= 0 {
 		cfg.MCWorkers = 1
 	}
+	// Thread the collector into every dispatch: the drivers stream their
+	// exploration counters into it while the engine publishes the
+	// synthesis-level counters and gauges around them.
+	cfg.MC.Obs = cfg.Obs
 	e := &engine{
 		sys:       sys,
 		cfg:       cfg,
@@ -342,8 +368,14 @@ func (e *engine) reverify() {
 			e.solutions[key] = sol
 		} else {
 			delete(e.solutions, key)
-			e.logf("dropping solution %s: trace-on re-verification returned %v",
-				formatAssign(sol.Assign, e.reg.holes()), res.Verdict)
+			if e.observing() {
+				desc := formatAssign(sol.Assign, e.reg.holes())
+				e.emit(obs.Event{
+					Kind:     obs.EventSolutionDropped,
+					Solution: desc,
+					Text:     fmt.Sprintf("dropping solution %s: trace-on re-verification returned %v", desc, res.Verdict),
+				})
+			}
 		}
 	}
 }
@@ -355,9 +387,30 @@ func (e *engine) mergeSpace(s statespace.Stats) {
 	e.spaceMu.Unlock()
 }
 
-func (e *engine) logf(format string, args ...any) {
+// observing reports whether any progress consumer is attached. Event
+// construction renders a human-readable Text line; call sites guard on
+// this so an unobserved run never pays the formatting.
+func (e *engine) observing() bool {
+	return e.cfg.Log != nil || e.cfg.Events != nil || e.cfg.Obs != nil
+}
+
+// emit fans one structured progress event out to every attached consumer:
+// the collector's event log, the typed Events callback, and the legacy
+// Log adapter (which receives the event's rendered Text line verbatim).
+// With a collector attached the event is stamped on its clock, so the
+// callback and the retained log carry the same timestamp.
+func (e *engine) emit(ev obs.Event) {
+	if ev.ElapsedNS == 0 {
+		ev.ElapsedNS = e.cfg.Obs.Elapsed().Nanoseconds()
+	}
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.Event(ev)
+	}
+	if e.cfg.Events != nil {
+		e.cfg.Events(ev)
+	}
 	if e.cfg.Log != nil {
-		e.cfg.Log(format, args...)
+		e.cfg.Log("%s", ev.Text)
 	}
 }
 
@@ -394,6 +447,7 @@ func (e *engine) dispatch(assign []int, mcWorkers int) {
 		return
 	}
 	e.evaluated.Add(1)
+	e.cfg.Obs.Count(obs.CEvaluated, 1)
 	e.totalSeen.Add(int64(res.Stats.VisitedStates))
 	e.mergeSpace(res.Space)
 	switch res.Verdict {
@@ -418,6 +472,10 @@ func (e *engine) dispatch(assign []int, mcWorkers int) {
 	case mc.Unknown:
 		e.unknowns.Add(1)
 	}
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.SetGauge(obs.GHoles, uint64(e.reg.count()))
+		e.cfg.Obs.SetGauge(obs.GPatterns, uint64(e.patterns.Len()))
+	}
 	if e.cfg.OnEvaluate != nil {
 		e.cfg.OnEvaluate(Event{
 			Assign:        append([]int(nil), assign...),
@@ -435,7 +493,16 @@ func (e *engine) recordSolution(assign []int, visited int) {
 	e.solMu.Lock()
 	if _, dup := e.solutions[key]; !dup {
 		e.solutions[key] = sol
-		e.logf("solution %s (%d states)", formatAssign(sol.Assign, e.reg.holes()), visited)
+		e.cfg.Obs.Count(obs.CSolutions, 1)
+		if e.observing() {
+			desc := formatAssign(sol.Assign, e.reg.holes())
+			e.emit(obs.Event{
+				Kind:     obs.EventSolution,
+				Solution: desc,
+				States:   visited,
+				Text:     fmt.Sprintf("solution %s (%d states)", desc, visited),
+			})
+		}
 	}
 	e.solMu.Unlock()
 }
@@ -508,8 +575,19 @@ func (e *engine) runPrune() (rounds int, err error) {
 		sizes := radices(holes, k)
 		e.lastK = k
 		rounds++
-		e.logf("round %d: enumerating %d holes (%d combinations, %d patterns)",
-			rounds, k, spaceSize(sizes), e.patterns.Len())
+		e.cfg.Obs.SetGauge(obs.GRound, uint64(rounds))
+		e.cfg.Obs.SetGauge(obs.GCandidates, spaceSize(sizes))
+		if e.observing() {
+			e.emit(obs.Event{
+				Kind:       obs.EventRound,
+				Round:      rounds,
+				Holes:      k,
+				Patterns:   e.patterns.Len(),
+				Candidates: spaceSize(sizes),
+				Text: fmt.Sprintf("round %d: enumerating %d holes (%d combinations, %d patterns)",
+					rounds, k, spaceSize(sizes), e.patterns.Len()),
+			})
+		}
 		e.enumerateRound(sizes)
 	}
 	return rounds, nil
@@ -605,6 +683,7 @@ func (e *engine) enumerateOdometer(sizes []int, mcWorkers int) {
 	for !e.stop.Load() {
 		if matched, d := e.patterns.Match(assign); matched {
 			e.skipped.Add(1) // subtree sizes are uncountable here; count events
+			e.cfg.Obs.Count(obs.CSkipped, 1)
 			if d < 0 {
 				return // empty pattern: everything is pruned
 			}
@@ -635,6 +714,7 @@ func (e *engine) enumerateRange(lo, hi uint64, sizes []int, mcWorkers int) {
 				next = hi
 			}
 			e.skipped.Add(int64(next - idx))
+			e.cfg.Obs.Count(obs.CSkipped, next-idx)
 			idx = next
 			continue
 		}

@@ -68,6 +68,7 @@ import (
 	"errors"
 	"fmt"
 
+	"verc3/internal/obs"
 	"verc3/internal/statespace"
 	"verc3/internal/ts"
 	"verc3/internal/visited"
@@ -126,6 +127,14 @@ type liveChecker struct {
 	trsBuf   []ts.Transition
 	admitted int // blue insertions, for the MaxStates cap
 	capHit   bool
+	// ow stages the phase's telemetry (nil when Options.Obs is unset):
+	// CBlue/CRed product admissions, plus CAborts, which mirrors
+	// Stats.WildcardAborts and so keeps accumulating here. The phase's
+	// firings and recycles are deliberately NOT counted into
+	// CTransitions/CRecycled — those mirror the safety pass's
+	// statespace.Stats, and this phase reports its exploration separately
+	// (LiveStates/RedStates).
+	ow *obs.Worker
 }
 
 // checkLiveness runs the nested-DFS phase over every liveness goal of sys,
@@ -141,7 +150,7 @@ func checkLiveness(sys ts.System, opt Options, res *Result) error {
 	if len(goals) == 0 {
 		return nil
 	}
-	l := &liveChecker{sys: sys, opt: opt, lc: newLifecycle(sys, opt), res: res}
+	l := &liveChecker{sys: sys, opt: opt, lc: newLifecycle(sys, opt), res: res, ow: opt.Obs.NewWorker()}
 	for _, g := range goals {
 		failed, err := l.checkGoal(g)
 		if err != nil {
@@ -185,6 +194,7 @@ func (l *liveChecker) checkGoal(g ts.LivenessGoal) (failed bool, err error) {
 		l.res.Space.LiveStates += l.blue.Len()
 		l.res.Space.RedStates += l.red.Len()
 		l.blue, l.red = nil, nil
+		l.ow.Flush()
 	}()
 	l.cyan = make(map[statespace.Fingerprint]int)
 	l.stack = l.stack[:0]
@@ -338,6 +348,7 @@ func (l *liveChecker) product(s ts.State, rule string, q, c uint8) lframe {
 // states with no product successor (dead monitor branches) are recycled
 // immediately.
 func (l *liveChecker) expand(f *lframe) ([]lsucc, error) {
+	l.ow.Tick()
 	if l.lc.appender != nil {
 		l.trsBuf = l.lc.appender.AppendTransitions(l.trsBuf[:0], f.state)
 	} else {
@@ -351,6 +362,7 @@ func (l *liveChecker) expand(f *lframe) ([]lsucc, error) {
 			if errors.Is(ferr, ts.ErrWildcard) {
 				l.res.WildcardHit = true
 				l.res.Stats.WildcardAborts++
+				l.ow.Inc(obs.CAborts)
 				continue
 			}
 			return nil, fmt.Errorf("mc: liveness goal %q: transition %q from state %q: %w",
@@ -425,6 +437,7 @@ func (l *liveChecker) dfsBlue(root lframe) (lasso, bool, error) {
 		return lasso{}, false, nil // reached by an earlier root
 	}
 	l.admitted++
+	l.ow.Inc(obs.CBlue)
 	l.cyan[root.fp] = 0
 	l.stack = append(l.stack[:0], root)
 	for len(l.stack) > 0 {
@@ -458,6 +471,7 @@ func (l *liveChecker) dfsBlue(root lframe) (lasso, bool, error) {
 				continue
 			}
 			l.admitted++
+			l.ow.Inc(obs.CBlue)
 			l.cyan[t.fp] = len(l.stack)
 			l.stack = append(l.stack, lframe{
 				state: t.state, rule: t.rule, fp: t.fp, q: t.q, c: t.c, acc: t.acc,
@@ -492,7 +506,9 @@ func (l *liveChecker) dfsBlue(root lframe) (lasso, bool, error) {
 // re-searched (the classical CVWY invariant: earlier, deeper seeds have
 // already exonerated them).
 func (l *liveChecker) dfsRed(seed *lframe) (lasso, bool, error) {
-	l.red.TryInsert(seed.fp)
+	if l.red.TryInsert(seed.fp) {
+		l.ow.Inc(obs.CRed)
+	}
 	// The seed frame shares its state with the blue stack; the red stack's
 	// copy must never be recycled on pop.
 	l.rst = append(l.rst[:0], lframe{state: seed.state, fp: seed.fp, q: seed.q, c: seed.c, acc: seed.acc})
@@ -520,6 +536,7 @@ func (l *liveChecker) dfsRed(seed *lframe) (lasso, bool, error) {
 				l.recycle(t.state)
 				continue
 			}
+			l.ow.Inc(obs.CRed)
 			l.rst = append(l.rst, lframe{
 				state: t.state, rule: t.rule, fp: t.fp, q: t.q, c: t.c, acc: t.acc,
 			})

@@ -88,6 +88,7 @@ import (
 	"runtime"
 	"unsafe"
 
+	"verc3/internal/obs"
 	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
 	"verc3/internal/ts"
@@ -351,6 +352,15 @@ type Options struct {
 	// holds the token" are not permutation-invariant, so cycle detection
 	// on the quotient graph would be unsound. See internal/mc/liveness.go.
 	Liveness bool
+	// Obs optionally publishes live telemetry into a collector: states /
+	// transitions / duplicates / recycled counters on the hot path (staged
+	// per-worker, flushed in batches — see internal/obs), sampled per-phase
+	// timings, and depth / frontier / visited-bytes gauges plus a timeline
+	// mark at every BFS level boundary. Nil disables all of it at zero
+	// cost; after a run every counter equals the corresponding
+	// statespace.Stats field (the zoo obs-equivalence test pins this).
+	// Synthesis dispatches running concurrently may share one collector.
+	Obs *obs.Collector
 }
 
 // item is one frontier entry of the sequential driver: the state itself
@@ -381,6 +391,9 @@ type checker struct {
 	trsBuf   []ts.Transition
 	recycled uint64
 	labels   *phaseLabels
+	// ow is the telemetry staging worker (nil when Options.Obs is unset;
+	// every method no-ops on nil, mirroring the labels idiom).
+	ow *obs.Worker
 
 	visited  visited.Store
 	traces   *statespace.TraceStore[ts.State]
@@ -441,6 +454,7 @@ func (c *checker) recycle(s ts.State) {
 	if c.lc.recycler != nil {
 		c.lc.recycler.Recycle(s)
 		c.recycled++
+		c.ow.Inc(obs.CRecycled)
 	}
 }
 
@@ -520,8 +534,10 @@ func checkSequential(sys ts.System, opt Options) (*Result, error) {
 	}
 	c.canon = newCanon(sys, opt)
 	c.key = newKeyer(c.canon, opt)
+	c.obsStart()
 	err := c.run()
 	c.labels.clear()
+	c.obsFinish(c.res.Stats.MaxDepth)
 	if err == nil {
 		c.res.Space.Transitions = c.res.Stats.FiredTransitions
 		c.res.Space.PeakFrontier = c.frontier.Peak()
@@ -669,14 +685,20 @@ func tracePath(n *statespace.TraceNode[ts.State]) []TraceStep {
 // Rejected duplicates are recycled: they were never traced and never
 // enqueued, so the system may reuse their storage immediately — the
 // unconditionally safe recycle point, valid with traces on or off.
-func (c *checker) enqueue(s ts.State, parent *statespace.TraceNode[ts.State], rule string, depth int, mask uint64) (item, bool) {
+func (c *checker) enqueue(s ts.State, parent *statespace.TraceNode[ts.State], rule string, depth int, mask uint64, sw *obs.Stopwatch) (item, bool) {
 	c.labels.key()
+	sw.Mark()
 	fp := c.key.fingerprint(s)
+	sw.Lap(obs.PhaseKey)
 	c.labels.insert()
-	if !c.visited.TryInsert(fp) {
+	fresh := c.visited.TryInsert(fp)
+	sw.Lap(obs.PhaseInsert)
+	if !fresh {
+		c.ow.Inc(obs.CDuplicates)
 		c.recycle(s)
 		return item{}, false
 	}
+	c.ow.Inc(obs.CStates)
 	c.admitted++
 	it := item{state: s, node: c.traces.Add(s, rule, parent), depth: depth, mask: mask}
 	if depth > c.res.Stats.MaxDepth {
@@ -720,7 +742,7 @@ func (c *checker) run() error {
 		return fmt.Errorf("mc: system %q has no initial states", c.sys.Name())
 	}
 	for _, s := range inits {
-		if it, fresh := c.enqueue(s, nil, "", 0, 0); fresh {
+		if it, fresh := c.enqueue(s, nil, "", 0, 0, nil); fresh {
 			if c.checkState(it) {
 				return nil
 			}
@@ -740,7 +762,7 @@ func (c *checker) run() error {
 			// levels and relies on the backend's own housekeeping).
 			if it.depth > lastDepth {
 				lastDepth = it.depth
-				if err := endLevel(c.visited); err != nil {
+				if err := c.endLevelObs(lastDepth); err != nil {
 					return err
 				}
 			}
@@ -778,8 +800,12 @@ func (c *checker) run() error {
 // expand fires all transitions of frontier entry it. It reports done=true
 // when a violation stops the search.
 func (c *checker) expand(it item) (done bool, err error) {
+	sw := c.ow.BeginExpansion() // nil on unsampled expansions; Stopwatch is nil-safe
+	defer sw.Done()
 	c.labels.enumerate()
+	sw.Mark()
 	trs := c.enumerate(it.state)
+	sw.Lap(obs.PhaseEnumerate)
 	succs := 0
 	blocked := 0
 	for _, tr := range trs {
@@ -787,23 +813,27 @@ func (c *checker) expand(it item) (done bool, err error) {
 			c.opt.Usage.ResetUsage()
 		}
 		c.labels.fire()
+		sw.Mark()
 		next, ferr := tr.Fire(c.opt.Env)
+		sw.Lap(obs.PhaseFire)
 		if ferr != nil {
 			if errors.Is(ferr, ts.ErrWildcard) {
 				c.res.WildcardHit = true
 				c.res.Stats.WildcardAborts++
+				c.ow.Inc(obs.CAborts)
 				blocked++
 				continue
 			}
 			return false, fmt.Errorf("mc: transition %q from state %q: %w", tr.Name, it.state.Key(), ferr)
 		}
 		c.res.Stats.FiredTransitions++
+		c.ow.Inc(obs.CTransitions)
 		succs++
 		mask := it.mask
 		if c.opt.Usage != nil {
 			mask |= c.opt.Usage.Usage()
 		}
-		if child, fresh := c.enqueue(next, it.node, tr.Name, it.depth+1, mask); fresh {
+		if child, fresh := c.enqueue(next, it.node, tr.Name, it.depth+1, mask, sw); fresh {
 			if c.checkState(child) {
 				return true, nil
 			}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"verc3/internal/obs"
 	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
 	"verc3/internal/ts"
@@ -89,7 +90,11 @@ type pworker struct {
 	key      keyer
 	trs      []ts.Transition
 	recycled uint64
-	_        [56]byte
+	// ow stages this worker's telemetry counters (nil when Options.Obs is
+	// unset). Each worker gets its own obs slot via NewWorker, so the
+	// batched flushes land on distinct cache lines too.
+	ow *obs.Worker
+	_  [48]byte
 }
 
 // checkParallel explores sys with the parallel driver (see Options.Workers).
@@ -114,7 +119,9 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 	c.workers = make([]pworker, opt.Workers)
 	for i := range c.workers {
 		c.workers[i].key = newKeyer(c.canon, opt)
+		c.workers[i].ow = opt.Obs.NewWorker()
 	}
+	opt.Obs.SetGauge(obs.GMaxStates, uint64(opt.MaxStates))
 	res, err := c.run()
 	c.labels.clear()
 	if cerr := closeStore(c.visited); err == nil {
@@ -132,18 +139,25 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 // was never traced and never emitted, so only the calling worker can still
 // reach it (counted per worker; the model's sync.Pool keeps the returned
 // storage on this worker's P).
-func (c *pchecker) tryAdmit(w int, s ts.State) bool {
+func (c *pchecker) tryAdmit(w int, s ts.State, sw *obs.Stopwatch) bool {
 	pw := &c.workers[w]
 	c.labels.key()
+	sw.Mark()
 	fp := pw.key.fingerprint(s)
+	sw.Lap(obs.PhaseKey)
 	c.labels.insert()
-	if !c.visited.TryInsert(fp) {
+	fresh := c.visited.TryInsert(fp)
+	sw.Lap(obs.PhaseInsert)
+	if !fresh {
+		pw.ow.Inc(obs.CDuplicates)
 		if c.lc.recycler != nil {
 			c.lc.recycler.Recycle(s)
 			pw.recycled++
+			pw.ow.Inc(obs.CRecycled)
 		}
 		return false
 	}
+	pw.ow.Inc(obs.CStates)
 	if c.opt.MaxStates > 0 {
 		c.admitted.Add(1)
 	}
@@ -204,7 +218,10 @@ func (c *pchecker) expand(w int, it pitem, emit func(pitem)) (stop bool, err err
 		return true, nil
 	}
 	pw := &c.workers[w]
+	sw := pw.ow.BeginExpansion() // nil on unsampled expansions; Stopwatch is nil-safe
+	defer sw.Done()
 	c.labels.enumerate()
+	sw.Mark()
 	var trs []ts.Transition
 	if c.lc.appender != nil {
 		pw.trs = c.lc.appender.AppendTransitions(pw.trs[:0], it.state)
@@ -212,22 +229,27 @@ func (c *pchecker) expand(w int, it pitem, emit func(pitem)) (stop bool, err err
 	} else {
 		trs = c.sys.Transitions(it.state)
 	}
+	sw.Lap(obs.PhaseEnumerate)
 	succs, blocked := 0, 0
 	for _, tr := range trs {
 		c.labels.fire()
+		sw.Mark()
 		next, ferr := tr.Fire(c.opt.Env)
+		sw.Lap(obs.PhaseFire)
 		if ferr != nil {
 			if errors.Is(ferr, ts.ErrWildcard) {
 				c.wildcard.Store(true)
 				c.aborts.Add(1)
+				pw.ow.Inc(obs.CAborts)
 				blocked++
 				continue
 			}
 			return true, fmt.Errorf("mc: transition %q from state %q: %w", tr.Name, it.state.Key(), ferr)
 		}
 		c.fired.Add(1)
+		pw.ow.Inc(obs.CTransitions)
 		succs++
-		if !c.tryAdmit(w, next) {
+		if !c.tryAdmit(w, next, sw) {
 			continue
 		}
 		child := pitem{state: next, node: c.traces.Add(next, tr.Name, it.node), depth: it.depth + 1}
@@ -254,6 +276,7 @@ func (c *pchecker) expand(w int, it pitem, emit func(pitem)) (stop bool, err err
 	if !c.opt.RecordTrace && c.lc.recycler != nil {
 		c.lc.recycler.Recycle(it.state)
 		pw.recycled++
+		pw.ow.Inc(obs.CRecycled)
 	}
 	return false, nil
 }
@@ -266,7 +289,7 @@ func (c *pchecker) run() (*Result, error) {
 	var frontier []pitem
 	stopped := false
 	for _, s := range inits {
-		if !c.tryAdmit(0, s) {
+		if !c.tryAdmit(0, s, nil) {
 			continue
 		}
 		it := pitem{state: s, node: c.traces.Add(s, "", nil)}
@@ -295,7 +318,7 @@ func (c *pchecker) run() (*Result, error) {
 		}
 		// Level boundary: level-aware backends reorganize (spill merges
 		// its run files) while no worker is inserting.
-		if err := endLevel(c.visited); err != nil {
+		if err := c.endLevelObs(len(next)); err != nil {
 			return nil, err
 		}
 		frontier = next
@@ -304,8 +327,11 @@ func (c *pchecker) run() (*Result, error) {
 }
 
 // finish assembles the Result with the same verdict logic as the
-// sequential driver.
+// sequential driver. ExpandLevel has returned (WaitGroup happens-before),
+// so flushing the workers' staged telemetry from this goroutine is safe
+// even when the run stopped mid-level.
 func (c *pchecker) finish() *Result {
+	c.obsFinish()
 	res := &Result{
 		Stats: Stats{
 			VisitedStates:    c.visited.Len(),

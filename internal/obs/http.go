@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// MetricsHandler serves a collector read-only over HTTP — the
+// -metrics-addr surface, expvar-style: no mutation, no auth, meant for
+// localhost scrapes and dashboards while a check is in flight.
+//
+//	/metrics       Prometheus text exposition (all counter, gauge and
+//	               phase-histogram families, zero or not)
+//	/metrics.json  the current Snapshot plus phase histograms as JSON
+func MetricsHandler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, c)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := struct {
+			Snapshot Snapshot                     `json:"snapshot"`
+			Phases   map[string]HistogramSnapshot `json:"phases,omitempty"`
+		}{Snapshot: c.Snapshot(), Phases: c.Phases()}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	return mux
+}
+
+// writePrometheus renders the text exposition format. Every family is
+// emitted even at zero, so scrapers see a stable schema from the first
+// scrape of a run.
+func writePrometheus(w http.ResponseWriter, c *Collector) {
+	s := c.Snapshot()
+	var b strings.Builder
+	for i, v := range s.Counters {
+		name := "verc3_" + counterNames[i] + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	for i, v := range s.Gauges {
+		name := "verc3_" + gaugeNames[i]
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	fmt.Fprintf(&b, "# TYPE verc3_elapsed_seconds gauge\nverc3_elapsed_seconds %g\n",
+		float64(s.ElapsedNS)/1e9)
+	b.WriteString("# TYPE verc3_phase_seconds histogram\n")
+	for p := Phase(0); p < NumPhases; p++ {
+		hs := HistogramSnapshot{}
+		if c != nil {
+			hs = c.phases[p].Snapshot()
+		}
+		cum := uint64(0)
+		for i, n := range hs.Buckets {
+			cum += n
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "verc3_phase_seconds_bucket{phase=%q,le=%q} %d\n",
+				p.String(), fmt.Sprintf("%g", float64(BucketUpperNS(i))/1e9), cum)
+		}
+		fmt.Fprintf(&b, "verc3_phase_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", p.String(), hs.Count)
+		fmt.Fprintf(&b, "verc3_phase_seconds_sum{phase=%q} %g\n", p.String(), float64(hs.SumNS)/1e9)
+		fmt.Fprintf(&b, "verc3_phase_seconds_count{phase=%q} %d\n", p.String(), hs.Count)
+	}
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sampler is the reader goroutine: it snapshots the collector on a fixed
+// interval, appends each snapshot to the timeline, and hands (prev, cur)
+// pairs to an optional callback (the -progress renderer). Stop is
+// synchronous — after it returns no further callback runs — and
+// idempotent.
+type Sampler struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// DefaultSampleInterval is the sampler cadence used by the CLIs: ~10 Hz
+// keeps a TTY status line lively and bounds the timeline-plus-callback
+// cost to a handful of slot sweeps per second.
+const DefaultSampleInterval = 100 * time.Millisecond
+
+// StartSampler launches the reader goroutine. interval <= 0 selects
+// DefaultSampleInterval; onSample may be nil (timeline-only sampling).
+// Nil-safe: a nil Collector returns a nil Sampler, whose Stop no-ops.
+func (c *Collector) StartSampler(interval time.Duration, onSample func(prev, cur Snapshot)) *Sampler {
+	if c == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		prev := c.Snapshot()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				cur := c.Snapshot()
+				c.MarkTimeline()
+				if onSample != nil {
+					onSample(prev, cur)
+				}
+				prev = cur
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts the sampler and waits for the goroutine to exit.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Progress renders a live status line from sampler snapshots. On a TTY it
+// rewrites one line in place (carriage return + erase); on anything else
+// it degrades to one full line every nonTTYEvery samples, so piped and CI
+// output stays readable. Logf interleaves log lines cleanly with the
+// status line, and Clear erases it before the final summary prints.
+// All methods are safe for concurrent use and no-op on a nil receiver.
+type Progress struct {
+	mu     sync.Mutex
+	w      io.Writer
+	tty    bool
+	every  int
+	n      int
+	rate   float64 // EWMA states/sec
+	seeded bool
+	shown  bool // a TTY status line is currently on screen
+}
+
+// nonTTYEvery is the non-TTY line cadence: one line per this many samples
+// (2 s at the default interval).
+const nonTTYEvery = 20
+
+// ewmaAlpha is the states/sec smoothing factor per sample.
+const ewmaAlpha = 0.3
+
+// NewProgress builds a renderer writing to w, detecting whether w is a
+// terminal. The CLIs pass os.Stderr so the status line never mixes into
+// piped stdout.
+func NewProgress(w io.Writer) *Progress {
+	return newProgress(w, isTTY(w))
+}
+
+// newProgress is the constructor with an explicit TTY mode, for tests.
+func newProgress(w io.Writer, tty bool) *Progress {
+	return &Progress{w: w, tty: tty, every: nonTTYEvery}
+}
+
+// isTTY reports whether w is a character device.
+func isTTY(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// Sample consumes one sampler (prev, cur) pair: it updates the EWMA rate
+// and repaints (TTY) or periodically prints (non-TTY) the status line.
+func (p *Progress) Sample(prev, cur Snapshot) {
+	if p == nil {
+		return
+	}
+	inst := cur.Rate(CStates, prev)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.seeded {
+		p.rate, p.seeded = inst, true
+	} else {
+		p.rate = ewmaAlpha*inst + (1-ewmaAlpha)*p.rate
+	}
+	line := renderLine(cur, p.rate)
+	if p.tty {
+		fmt.Fprintf(p.w, "\r\x1b[K%s", line)
+		p.shown = true
+		return
+	}
+	p.n++
+	if p.n%p.every == 1 {
+		fmt.Fprintln(p.w, line)
+	}
+}
+
+// Logf writes a log line without tearing the status line: on a TTY the
+// status line is erased first and repainted on the next sample.
+func (p *Progress) Logf(format string, args ...any) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tty && p.shown {
+		fmt.Fprint(p.w, "\r\x1b[K")
+		p.shown = false
+	}
+	fmt.Fprintf(p.w, format+"\n", args...)
+}
+
+// Clear erases the TTY status line (a no-op otherwise); the CLIs call it
+// before printing the final summary so the two never overlap.
+func (p *Progress) Clear() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tty && p.shown {
+		fmt.Fprint(p.w, "\r\x1b[K")
+		p.shown = false
+	}
+}
+
+// renderLine formats one status line from a snapshot and the smoothed
+// states/sec rate. Exploration figures always print; spill, pool, NDFS,
+// cap and synthesis sections appear only when live.
+func renderLine(s Snapshot, rate float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7s  states %s (%s/s) depth %d frontier %s visited %s",
+		time.Duration(s.ElapsedNS).Round(100*time.Millisecond),
+		humanCount(s.Counters[CStates]), humanCount(uint64(rate)),
+		s.Gauges[GDepth], humanCount(s.Gauges[GFrontier]),
+		humanBytes(int64(s.Gauges[GVisitedBytes])))
+	if max := s.Gauges[GMaxStates]; max > 0 {
+		fmt.Fprintf(&b, " cap %.0f%%", 100*float64(s.Counters[CStates])/float64(max))
+	}
+	if sp := s.Gauges[GSpilledBytes]; sp > 0 {
+		fmt.Fprintf(&b, " spilled %s/%d", humanBytes(int64(sp)), s.Gauges[GSpillRuns])
+	}
+	if h, m := s.Gauges[GPoolHits], s.Gauges[GPoolMisses]; h+m > 0 {
+		fmt.Fprintf(&b, " pool %.1f%%", 100*float64(h)/float64(h+m))
+	}
+	if blue := s.Counters[CBlue]; blue > 0 {
+		fmt.Fprintf(&b, " ndfs %s+%sred", humanCount(blue), humanCount(s.Counters[CRed]))
+	}
+	if ev := s.Counters[CEvaluated]; ev > 0 || s.Gauges[GHoles] > 0 {
+		fmt.Fprintf(&b, " | round %d eval %s skip %s pat %d sol %d holes %d",
+			s.Gauges[GRound], humanCount(ev), humanCount(s.Counters[CSkipped]),
+			s.Gauges[GPatterns], s.Counters[CSolutions], s.Gauges[GHoles])
+		if c := s.Gauges[GCandidates]; c > 0 {
+			fmt.Fprintf(&b, "/%s", humanCount(c))
+		}
+	}
+	return b.String()
+}
+
+// humanCount renders a count with a short magnitude suffix.
+func humanCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 10e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// humanBytes renders a byte count with a binary unit (statespace has its
+// own unexported twin; duplicated to keep obs leaf-light).
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

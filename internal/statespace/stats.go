@@ -14,55 +14,55 @@ const FingerprintBytes = 8
 // the engine; the cmd/ tools print it behind their -stats flag.
 type Stats struct {
 	// States is the number of distinct states in the visited set.
-	States int
+	States int `json:"states"`
 	// Transitions is the number of successful transition firings.
-	Transitions int
+	Transitions int `json:"transitions"`
 	// PeakFrontier is the frontier high-water mark: the largest queue
 	// length (sequential driver) or, for the parallel driver, the largest
 	// current-level + emitted-next-level coexistence during a level
 	// expansion — the true number of frontier entries alive at once, not
 	// just the largest single level. With trace recording off it bounds
 	// the number of states alive at once.
-	PeakFrontier int
+	PeakFrontier int `json:"peak_frontier"`
 	// TraceNodes is the number of parent-linked trace-store nodes retained.
 	// Always 0 with trace recording off — the acceptance criterion of the
 	// no-trace representation.
-	TraceNodes int
+	TraceNodes int `json:"trace_nodes"`
 	// BytesRetained is the structural estimate of exploration memory at its
 	// peak: the visited set (VisitedBytes when the backend measured it,
 	// States×FingerprintBytes otherwise), the frontier high-water mark, and
 	// the trace store. It deliberately counts only checker-owned structures
 	// (not what model states themselves point to), so trace-on versus
 	// trace-off runs of the same system are directly comparable.
-	BytesRetained int64
+	BytesRetained int64 `json:"bytes_retained"`
 	// VisitedBytes is the visited-set backend's measured storage footprint
 	// (internal/visited Store.Bytes): exact array sizes for the flat and
 	// bitstate backends, a documented geometry model for the map backend.
 	// Unlike the seed's 8-bytes-per-state estimate it includes the ~2×
 	// structural overhead of map storage and the slack of power-of-two
 	// tables. Zero when no backend reported (hand-built Stats).
-	VisitedBytes int64
+	VisitedBytes int64 `json:"visited_bytes"`
 	// Backend names the visited-set backend ("flat", "map", "bitstate",
 	// "spill"; "mixed" after merging runs with different backends).
-	Backend string
+	Backend string `json:"backend"`
 	// SpilledBytes is the spill backend's on-disk footprint: the summed
 	// size of its sorted fingerprint run files at the end of the run.
 	// VisitedBytes deliberately excludes it — the split is the backend's
 	// whole point (bounded RAM, disk-resident bulk). Zero for RAM-only
 	// backends; after Merge, the largest single run (like VisitedBytes).
-	SpilledBytes int64
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
 	// SpillRuns is the spill backend's live run-file count at the end of
 	// the run (1 after a level-boundary merge). Zero for other backends.
-	SpillRuns int
+	SpillRuns int `json:"spill_runs,omitempty"`
 	// Inexact reports that the visited set was lossy (bitstate): states
 	// may have been omitted, so States/Transitions are lower bounds and a
 	// clean verdict is probabilistic. The zero value (exact) matches every
 	// backend except bitstate.
-	Inexact bool
+	Inexact bool `json:"inexact,omitempty"`
 	// OmissionProb is the lossy backend's end-of-run estimate of the
 	// probability that a never-seen state was reported as visited (see
 	// visited.Stats.OmissionProb). Zero for exact backends.
-	OmissionProb float64
+	OmissionProb float64 `json:"omission_prob,omitempty"`
 	// Mallocs and AllocBytes are runtime.ReadMemStats deltas over the run
 	// (heap allocation count and cumulative bytes). Populated only when the
 	// caller asked for them (mc.Options.MemStats): ReadMemStats stops the
@@ -70,29 +70,29 @@ type Stats struct {
 	// process-global, so they are only attributable to this run when
 	// nothing else allocates concurrently — with cross-candidate synthesis
 	// workers, each dispatch's delta includes its neighbours' allocations.
-	Mallocs    uint64
-	AllocBytes uint64
+	Mallocs    uint64 `json:"mallocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 	// PoolHits and PoolMisses are the successor pool's traffic over the run
 	// (ts.PoolReporter delta): Fire clones served from recycled storage vs
 	// built fresh. Recycled counts the states the checker handed back
 	// (rejected duplicates, and in traceless mode expanded states). All zero
 	// when the system does not pool or recycling was disabled
 	// (mc.Options.NoRecycle).
-	PoolHits   uint64
-	PoolMisses uint64
-	Recycled   uint64
+	PoolHits   uint64 `json:"pool_hits,omitempty"`
+	PoolMisses uint64 `json:"pool_misses,omitempty"`
+	Recycled   uint64 `json:"recycled,omitempty"`
 	// LiveStates and RedStates are the nested-DFS liveness phase's product
 	// state counts: distinct product states admitted to the outer (blue)
 	// search and to the nested (red) cycle search, summed over all goals.
 	// Product states are (system state, monitor, fairness copy) triples, so
 	// LiveStates can exceed the safety pass's States. Both zero when no
 	// liveness phase ran.
-	LiveStates int
-	RedStates  int
+	LiveStates int `json:"live_states,omitempty"`
+	RedStates  int `json:"red_states,omitempty"`
 	// CycleLen is the length (in transitions) of the reported accepting
 	// cycle when a liveness goal failed; zero otherwise. After Merge, the
 	// longest single cycle.
-	CycleLen int
+	CycleLen int `json:"cycle_len,omitempty"`
 }
 
 // SetRetained computes BytesRetained from the structural counters, given
