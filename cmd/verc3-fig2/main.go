@@ -9,6 +9,9 @@
 //	           [-spill-dir DIR] [-progress] [-metrics-addr ADDR] [-report FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE] [-stats]
 //
+// The workload is fixed (the paper's chain system), so the shared -spec
+// flag is refused with a pointer to verc3-verify/verc3-synth.
+//
 // The run-by-run table streams to stdout as candidates are evaluated;
 // the telemetry flags cover both the pruning and the naive run, and
 // -report aggregates their counters into one report.
@@ -23,47 +26,25 @@ import (
 	"verc3/internal/core"
 	"verc3/internal/mc"
 	"verc3/internal/toy"
-	"verc3/internal/visited"
 )
 
 func main() {
-	stats := flag.Bool("stats", false, "print the aggregated exploration memory profile of both runs")
-	visitedF := flag.String("visited", "flat", "visited-set backend for dispatches: flat, map, or spill — all exact (bitstate is lossy and refused for synthesis)")
-	bitstateM := flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
-	spillMB := flag.Int("spill-mem-mb", 0, "spill backend's per-dispatch in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
-	spillDir := flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
-	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
-	progress, metricsAddr, report := cliutil.TelemetryFlags()
+	cf := cliutil.RegisterCommon()
 	flag.Parse()
 
-	if err := cliutil.FirstNegative(
-		cliutil.IntFlag{Name: "-bitstate-mb", Value: int64(*bitstateM)},
-		cliutil.IntFlag{Name: "-spill-mem-mb", Value: int64(*spillMB)},
-	); err != nil {
+	if err := cf.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
 		os.Exit(2)
 	}
+	cliutil.RefuseSpec("verc3-fig2", "the fixed Figure 2 workload", cf)
 
-	backend, err := visited.ParseKind(*visitedF)
+	backend, err := cf.Backend()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
 		os.Exit(2)
 	}
 
-	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
-		os.Exit(2)
-	}
-	exit := cliutil.ProfiledExit("verc3-fig2", stopProf)
-	tel, err := cliutil.StartTelemetry(cliutil.TelemetryOptions{
-		Tool:        "verc3-fig2",
-		System:      "toy-fig2",
-		Progress:    *progress,
-		MetricsAddr: *metricsAddr,
-		ReportPath:  *report,
-	})
+	tel, exit, err := cf.Start("verc3-fig2", "toy-fig2")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
 		exit(2)
@@ -78,15 +59,8 @@ func main() {
 	run := 0
 	lastPatterns := 0
 	var events []core.Event
-	mcOpt := mc.Options{
-		MemStats:   *stats,
-		Visited:    backend,
-		BitstateMB: *bitstateM,
-		SpillMem:   int64(*spillMB) << 20,
-		SpillDir:   *spillDir,
-		// Phase labels only when profiling (see verc3-verify).
-		ProfileLabels: *cpuProf != "",
-	}
+	var mcOpt mc.Options
+	cf.ApplyMC(&mcOpt, backend)
 	res, err := core.Synthesize(g, core.Config{
 		Mode: core.ModePrune,
 		MC:   mcOpt,
@@ -127,7 +101,7 @@ func main() {
 	}
 	fmt.Fprintf(out, "naive:    %d of the nominal %d candidates evaluated\n",
 		naive.Stats.Evaluated, naive.Stats.CandidateSpace)
-	if *stats {
+	if cf.Stats {
 		fmt.Fprintf(out, "space (pruning): %s\n", res.Stats.Space)
 		fmt.Fprintf(out, "space (naive):   %s\n", naive.Stats.Space)
 	}

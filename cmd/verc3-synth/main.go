@@ -1,6 +1,7 @@
 // Command verc3-synth runs the synthesis procedure on a built-in skeleton
-// and prints the discovered holes, search statistics and every correctly
-// verified candidate.
+// — or a sketch loaded from a verc3_model_v1 JSON spec file — and prints
+// the discovered holes, search statistics and every correctly verified
+// candidate.
 //
 // Usage:
 //
@@ -10,6 +11,13 @@
 //	            [-spill-dir DIR] [-progress] [-metrics-addr ADDR]
 //	            [-report FILE] [-cpuprofile FILE] [-memprofile FILE]
 //	            [-stats] [-v]
+//	verc3-synth -spec examples/specs/mutex-sketch.json [...]
+//
+// -spec loads the sketch from a JSON model spec (see internal/spec): its
+// choose holes are discovered and bound through the same engine as
+// compiled-in skeletons. A spec without holes is accepted too — the
+// search space is the single empty candidate, so the run degenerates to
+// one verification.
 //
 // -progress renders a live status line on stderr (rounds, candidates
 // evaluated/skipped, pruning patterns, aggregate exploration rate);
@@ -32,7 +40,7 @@ import (
 	"verc3/internal/cliutil"
 	"verc3/internal/core"
 	"verc3/internal/mc"
-	"verc3/internal/visited"
+	"verc3/internal/ts"
 	"verc3/internal/zoo"
 )
 
@@ -47,57 +55,50 @@ func main() {
 		symmetry  = flag.Bool("symmetry", true, "enable symmetry reduction in the model checker")
 		liveness  = flag.Bool("liveness", false, "check declared liveness goals (nested DFS) on every candidate dispatch")
 		maxEval   = flag.Int64("max-eval", 0, "stop after N model-checker dispatches (0 = run to completion)")
-		stats     = flag.Bool("stats", false, "print the aggregated exploration memory profile")
-		visitedF  = flag.String("visited", "flat", "visited-set backend for dispatches: flat, map, or spill — all exact (bitstate is lossy and refused for synthesis)")
-		bitstateM = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
-		spillMB   = flag.Int("spill-mem-mb", 0, "spill backend's per-dispatch in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
-		spillDir  = flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
 		verbose   = flag.Bool("v", false, "log rounds and solutions as they are found")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
-	progress, metricsAddr, report := cliutil.TelemetryFlags()
+	cf := cliutil.RegisterCommon()
 	flag.Parse()
 
-	if err := cliutil.FirstNegative(
+	if err := cf.Validate(
 		cliutil.IntFlag{Name: "-caches", Value: int64(*caches)},
 		cliutil.IntFlag{Name: "-workers", Value: int64(*workers)},
 		cliutil.IntFlag{Name: "-mc-workers", Value: int64(*mcWorkers)},
 		cliutil.IntFlag{Name: "-max-eval", Value: *maxEval},
-		cliutil.IntFlag{Name: "-bitstate-mb", Value: int64(*bitstateM)},
-		cliutil.IntFlag{Name: "-spill-mem-mb", Value: int64(*spillMB)},
 	); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
 		os.Exit(2)
 	}
 
-	backend, err := visited.ParseKind(*visitedF)
+	backend, err := cf.Backend()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
 		os.Exit(2)
 	}
-	sys, err := zoo.Get(*system, zoo.Params{Caches: *caches})
-	if err != nil {
+	var sys ts.System
+	name := *system
+	if m, err := cf.LoadSpec(); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
 		os.Exit(2)
+	} else if m != nil {
+		sys, name = m.System(), m.Name()
+	} else {
+		sys, err = zoo.Get(*system, zoo.Params{Caches: *caches})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verc3-synth:", err)
+			os.Exit(2)
+		}
 	}
 	cfg := core.Config{
 		Workers:   *workers,
 		MCWorkers: *mcWorkers,
 		MC: mc.Options{
-			Symmetry:   *symmetry,
-			Liveness:   *liveness,
-			MemStats:   *stats,
-			Visited:    backend,
-			BitstateMB: *bitstateM,
-			SpillMem:   int64(*spillMB) << 20,
-			SpillDir:   *spillDir,
-			// Phase labels only when profiling: they cost a goroutine-label
-			// store per driver phase switch.
-			ProfileLabels: *cpuProf != "",
+			Symmetry: *symmetry,
+			Liveness: *liveness,
 		},
 		MaxEvaluations: *maxEval,
 	}
+	cf.ApplyMC(&cfg.MC, backend)
 	switch *mode {
 	case "prune":
 		cfg.Mode = core.ModePrune
@@ -116,19 +117,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "verc3-synth: unknown -style %q\n", *style)
 		os.Exit(2)
 	}
-	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
-		os.Exit(2)
-	}
-	exit := cliutil.ProfiledExit("verc3-synth", stopProf)
-	tel, err := cliutil.StartTelemetry(cliutil.TelemetryOptions{
-		Tool:        "verc3-synth",
-		System:      *system,
-		Progress:    *progress,
-		MetricsAddr: *metricsAddr,
-		ReportPath:  *report,
-	})
+	tel, exit, err := cf.Start("verc3-synth", name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
 		exit(2)
@@ -166,7 +155,7 @@ func main() {
 		fmt.Fprintf(out, "NOTE: truncated by -max-eval=%d\n", *maxEval)
 	}
 	fmt.Fprintf(out, "elapsed:          %v\n", time.Since(start).Round(time.Millisecond))
-	if *stats {
+	if cf.Stats {
 		fmt.Fprintf(out, "space:            %s\n", st.Space)
 	}
 	fmt.Fprintf(out, "solutions:        %d\n", len(res.Solutions))

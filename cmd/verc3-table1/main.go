@@ -17,6 +17,9 @@
 //	             [-progress] [-metrics-addr ADDR] [-report FILE]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 //
+// The workload is fixed (the paper's MSI sketches), so the shared -spec
+// flag is refused with a pointer to verc3-verify/verc3-synth.
+//
 // The telemetry flags aggregate across all six configurations: -progress
 // shows the live cross-row exploration rate, and -report records one
 // report whose counters and Space profile sum every row's dispatches.
@@ -33,7 +36,6 @@ import (
 	"verc3/internal/mc"
 	"verc3/internal/msi"
 	"verc3/internal/statespace"
-	"verc3/internal/visited"
 )
 
 type row struct {
@@ -56,48 +58,28 @@ func main() {
 		naiveLgMax = flag.Int64("naive-large-max", 20000, "dispatch cap for the MSI-large naive row")
 		full       = flag.Bool("full", false, "run every configuration to completion (MSI-large naive: days)")
 		skipNaive  = flag.Bool("skip-naive", false, "skip both naive rows entirely")
-		stats      = flag.Bool("stats", false, "print each row's aggregated exploration memory profile")
-		visitedF   = flag.String("visited", "flat", "visited-set backend for dispatches: flat, map, or spill — all exact (bitstate is lossy and refused for synthesis)")
-		bitstateM  = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (synthesis refuses bitstate; flag kept uniform with verc3-verify)")
-		spillMB    = flag.Int("spill-mem-mb", 0, "spill backend's per-dispatch in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
-		spillDir   = flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
-	progress, metricsAddr, report := cliutil.TelemetryFlags()
+	cf := cliutil.RegisterCommon()
 	flag.Parse()
 
-	if err := cliutil.FirstNegative(
+	if err := cf.Validate(
 		cliutil.IntFlag{Name: "-caches", Value: int64(*caches)},
 		cliutil.IntFlag{Name: "-workers", Value: int64(*workers)},
 		cliutil.IntFlag{Name: "-mc-workers", Value: int64(*mcWorkers)},
 		cliutil.IntFlag{Name: "-naive-large-max", Value: *naiveLgMax},
-		cliutil.IntFlag{Name: "-bitstate-mb", Value: int64(*bitstateM)},
-		cliutil.IntFlag{Name: "-spill-mem-mb", Value: int64(*spillMB)},
 	); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
 		os.Exit(2)
 	}
+	cliutil.RefuseSpec("verc3-table1", "the paper's Table I MSI case study", cf)
 
-	backend, err := visited.ParseKind(*visitedF)
+	backend, err := cf.Backend()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
 		os.Exit(2)
 	}
 
-	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
-		os.Exit(2)
-	}
-	exit := cliutil.ProfiledExit("verc3-table1", stopProf)
-	tel, err := cliutil.StartTelemetry(cliutil.TelemetryOptions{
-		Tool:        "verc3-table1",
-		System:      "msi",
-		Progress:    *progress,
-		MetricsAddr: *metricsAddr,
-		ReportPath:  *report,
-	})
+	tel, exit, err := cf.Start("verc3-table1", "msi")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
 		exit(2)
@@ -123,21 +105,14 @@ func main() {
 		sys := msi.New(msi.Config{Caches: *caches, Variant: r.variant})
 		tel.Logf("running %-34s ...", r.name)
 		start := time.Now()
+		mcOpt := mc.Options{Symmetry: true}
+		cf.ApplyMC(&mcOpt, backend)
 		res, err := core.Synthesize(sys, core.Config{
-			Mode:      r.mode,
-			Workers:   r.workers,
-			MCWorkers: *mcWorkers,
-			Obs:       tel.Collector(),
-			MC: mc.Options{
-				Symmetry:   true,
-				MemStats:   *stats,
-				Visited:    backend,
-				BitstateMB: *bitstateM,
-				SpillMem:   int64(*spillMB) << 20,
-				SpillDir:   *spillDir,
-				// Phase labels only when profiling (see verc3-verify).
-				ProfileLabels: *cpuProf != "",
-			},
+			Mode:           r.mode,
+			Workers:        r.workers,
+			MCWorkers:      *mcWorkers,
+			Obs:            tel.Collector(),
+			MC:             mcOpt,
 			MaxEvaluations: r.truncate,
 		})
 		if err != nil {
@@ -178,7 +153,7 @@ func main() {
 		fmt.Fprintf(out, "%-34s %6d %14d %18s %12s %10d %14s\n",
 			r.name, st.Holes, st.CandidateSpace, pat, ev, len(r.res.Solutions), tm)
 	}
-	if *stats {
+	if cf.Stats {
 		fmt.Fprintln(out)
 		for _, r := range rows {
 			if r.res == nil {

@@ -1,7 +1,8 @@
-// Command verc3-verify model-checks a built-in system and reports the
-// verdict, exploration statistics and — on failure — a minimal
-// counterexample trace. Synthesis sketches (systems with unassigned holes)
-// are refused with a pointer to verc3-synth.
+// Command verc3-verify model-checks a built-in system — or one loaded from
+// a verc3_model_v1 JSON spec file — and reports the verdict, exploration
+// statistics and, on failure, a minimal counterexample trace. Synthesis
+// sketches (systems with unassigned holes) are refused with a pointer to
+// verc3-synth.
 //
 // Usage:
 //
@@ -11,6 +12,11 @@
 //	             [-bitstate-mb N] [-spill-mem-mb N] [-spill-dir DIR]
 //	             [-progress] [-metrics-addr ADDR] [-report FILE]
 //	             [-cpuprofile FILE] [-memprofile FILE]
+//	verc3-verify -spec examples/specs/tokenring.json [-liveness] [...]
+//
+// -spec loads the system from a JSON model spec (see internal/spec and the
+// committed examples under examples/specs/) instead of the compiled-in
+// zoo; every other flag works the same.
 //
 // -progress renders a live status line on stderr (states/sec, depth,
 // frontier, visited memory, cap %), -metrics-addr serves the same
@@ -35,6 +41,7 @@ import (
 	"verc3/internal/cliutil"
 	"verc3/internal/mc"
 	"verc3/internal/trace"
+	"verc3/internal/ts"
 	"verc3/internal/visited"
 	"verc3/internal/zoo"
 )
@@ -52,30 +59,21 @@ func main() {
 		shardBits = flag.Int("shard-bits", 0, "log2 shards of the parallel visited set (0 = default)")
 		noTrace   = flag.Bool("no-trace", false, "skip trace recording (fingerprint-only memory; failures carry no counterexample)")
 		noRecycle = flag.Bool("no-recycle", false, "disable successor recycling (fresh clone per transition; ablation knob)")
-		stats     = flag.Bool("stats", false, "print the exploration memory profile (peak frontier, trace store, allocations)")
-		visitedF  = flag.String("visited", "flat", "visited-set backend: flat (open addressing), map, bitstate (lossy, fixed memory), or spill (exact, RAM-bounded, overflows to disk)")
-		bitstateM = flag.Int("bitstate-mb", 0, "bitstate bit-array budget in MiB (0 = default 64; -visited bitstate only)")
-		spillMB   = flag.Int("spill-mem-mb", 0, "spill backend's in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
-		spillDir  = flag.String("spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
-	progress, metricsAddr, report := cliutil.TelemetryFlags()
+	cf := cliutil.RegisterCommon()
 	flag.Parse()
 
-	if err := cliutil.FirstNegative(
+	if err := cf.Validate(
 		cliutil.IntFlag{Name: "-caches", Value: int64(*caches)},
 		cliutil.IntFlag{Name: "-max-states", Value: int64(*maxSt)},
 		cliutil.IntFlag{Name: "-workers", Value: int64(*workers)},
 		cliutil.IntFlag{Name: "-shard-bits", Value: int64(*shardBits)},
-		cliutil.IntFlag{Name: "-bitstate-mb", Value: int64(*bitstateM)},
-		cliutil.IntFlag{Name: "-spill-mem-mb", Value: int64(*spillMB)},
 	); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
 		os.Exit(2)
 	}
 
-	backend, err := visited.ParseKind(*visitedF)
+	backend, err := cf.Backend()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
 		os.Exit(2)
@@ -90,34 +88,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	if zoo.IsSketch(*system) {
-		fmt.Fprintf(os.Stderr,
-			"verc3-verify: system %q is a synthesis sketch: its transitions contain unassigned holes,\n"+
-				"which plain model checking cannot resolve. Complete it with the synthesis tool instead:\n\n"+
-				"\tverc3-synth -system %s\n", *system, *system)
-		os.Exit(2)
-	}
-	sys, err := zoo.Get(*system, zoo.Params{Caches: *caches})
-	if err != nil {
+	var sys ts.System
+	name := *system
+	if m, err := cf.LoadSpec(); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
 		os.Exit(2)
+	} else if m != nil {
+		if m.Sketch() {
+			fmt.Fprintf(os.Stderr,
+				"verc3-verify: spec %q is a synthesis sketch: its rules contain unassigned choose\n"+
+					"holes, which plain model checking cannot resolve. Complete it with the synthesis\n"+
+					"tool instead:\n\n"+
+					"\tverc3-synth -spec %s\n", m.Name(), cf.Spec)
+			os.Exit(2)
+		}
+		sys, name = m.System(), m.Name()
+	} else {
+		if zoo.IsSketch(*system) {
+			fmt.Fprintf(os.Stderr,
+				"verc3-verify: system %q is a synthesis sketch: its transitions contain unassigned holes,\n"+
+					"which plain model checking cannot resolve. Complete it with the synthesis tool instead:\n\n"+
+					"\tverc3-synth -system %s\n", *system, *system)
+			os.Exit(2)
+		}
+		sys, err = zoo.Get(*system, zoo.Params{Caches: *caches})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verc3-verify:", err)
+			os.Exit(2)
+		}
 	}
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
-		os.Exit(2)
-	}
-	exit := cliutil.ProfiledExit("verc3-verify", stopProf)
-	tel, err := cliutil.StartTelemetry(cliutil.TelemetryOptions{
-		Tool:        "verc3-verify",
-		System:      *system,
-		Progress:    *progress,
-		MetricsAddr: *metricsAddr,
-		ReportPath:  *report,
-	})
+	tel, exit, err := cf.Start("verc3-verify", name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
 		exit(2)
@@ -129,18 +132,10 @@ func main() {
 		MaxStates:   *maxSt,
 		Workers:     *workers,
 		ShardBits:   *shardBits,
-		MemStats:    *stats,
 		NoRecycle:   *noRecycle,
-		// Label driver phases (enumerate/fire/key/insert) only when a CPU
-		// profile is being taken; the labels cost a goroutine-label store
-		// per phase switch.
-		ProfileLabels: *cpuProf != "",
-		Liveness:      *liveness,
-		Visited:       backend,
-		BitstateMB:    *bitstateM,
-		SpillMem:      int64(*spillMB) << 20,
-		SpillDir:      *spillDir,
+		Liveness:    *liveness,
 	}
+	cf.ApplyMC(&opt, backend)
 	if *dfs {
 		opt.Order = mc.DFS
 	}
@@ -168,7 +163,7 @@ func main() {
 		fmt.Fprintf(st, "exact:       false (bitstate storage; p(state omitted) ~ %.2g — counts are lower bounds)\n",
 			res.Space.OmissionProb)
 	}
-	if *stats {
+	if cf.Stats {
 		fmt.Fprintf(st, "space:       %s\n", res.Space)
 	}
 	code := 0

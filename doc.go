@@ -44,22 +44,34 @@
 //   - internal/core — the paper's contribution: synthesis by lazy hole
 //     discovery and candidate pruning, with cross-candidate and intra-check
 //     parallelism sharing one budget (core.SplitParallelism).
+//   - internal/spec — the data frontend: versioned verc3_model_v1 JSON
+//     model specs (typed variables, guarded-command rulesets in a small
+//     validated expression language, invariants, goals, liveness and
+//     fairness declarations, choose holes) loaded with path-carrying
+//     validation errors and compiled onto the dsl Builder, so spec
+//     systems inherit recycling, appender enumeration, allocation-free
+//     binary keying and symmetry. Committed examples under
+//     examples/specs/ are pinned equivalent to their hand-written twins.
 //   - internal/msi, internal/mutex, internal/tokenring, internal/toy — the
 //     case studies — over internal/network, the unordered interconnect;
 //     internal/trace renders counterexamples; internal/zoo is the named
-//     system registry (with sketch metadata) behind the command-line tools.
+//     system registry (with sketch metadata and runtime registration for
+//     loaded specs) behind the command-line tools.
 //
 // Command-line tools are under cmd/ (verc3-verify, verc3-synth,
-// verc3-table1, verc3-fig2; all support -stats, select the visited-set
-// backend with -visited flat|map|bitstate|spill, size it with
-// -bitstate-mb / -spill-mem-mb / -spill-dir, and write pprof profiles
-// with -cpuprofile / -memprofile — which also turns on per-phase
-// goroutine labels (mc-phase = enumerate/fire/key/insert) so profiles
-// split the exploration loop by phase; negative sizing or parallelism
-// values are rejected up front rather than silently clamped) and
-// runnable demos under examples/. cmd/verc3-bench runs the headline
-// exploration benchmarks in-process and writes BENCH_explore.json for
-// CI archival.
+// verc3-table1, verc3-fig2; their shared flag block lives in
+// cliutil.CommonFlags: -spec loads the system from a JSON model spec
+// (verc3-verify refuses sketch specs, pointing at verc3-synth; the
+// fixed-workload tools refuse the flag entirely), -stats prints the
+// memory profile, -visited flat|map|bitstate|spill selects the
+// visited-set backend, sized with -bitstate-mb / -spill-mem-mb /
+// -spill-dir, and -cpuprofile / -memprofile write pprof profiles —
+// which also turns on per-phase goroutine labels (mc-phase =
+// enumerate/fire/key/insert) so profiles split the exploration loop by
+// phase; negative sizing or parallelism values are rejected up front
+// rather than silently clamped) and runnable demos under examples/.
+// cmd/verc3-bench runs the headline exploration benchmarks in-process
+// and writes BENCH_explore.json for CI archival.
 //
 // # Trace-optional exploration
 //
@@ -138,7 +150,9 @@
 // exactly like a safety failure. Token-ring and Peterson pass their
 // goals; the complete MSI protocol is a pinned true positive (no network
 // fairness is declared, so a writer can starve behind undelivered
-// messages).
+// messages), and the msi-fair zoo entry is the same protocol plus
+// per-channel delivery fairness, under which that lasso is excluded as
+// unfair and the same goals pass.
 //
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation plus this repo's ablations (parallel

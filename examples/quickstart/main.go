@@ -7,6 +7,17 @@
 // worker voted no. The correctness specification (atomicity invariants plus
 // a "commits actually happen" goal) admits exactly one completion.
 //
+// The same sketch is then rebuilt as data — a verc3_model_v1 JSON model
+// spec (internal/spec) — and synthesized again, without any Go modelling
+// code. Specs are what the command-line tools load with -spec:
+//
+//	verc3-verify -spec examples/specs/tokenring.json -liveness
+//	verc3-synth  -spec examples/specs/mutex-sketch.json
+//
+// (sketch specs are refused by verc3-verify, which points at verc3-synth;
+// the committed examples under examples/specs/ are pinned byte-for-byte
+// equivalent to their hand-written zoo twins by TestSpecEquivalence).
+//
 // Run with:
 //
 //	go run ./examples/quickstart
@@ -18,6 +29,7 @@ import (
 
 	"verc3/internal/core"
 	"verc3/internal/mc"
+	"verc3/internal/spec"
 	"verc3/internal/ts"
 )
 
@@ -137,6 +149,46 @@ func (sys *system) Quiescent(s ts.State) bool {
 	return s.(*state).Phase != collecting
 }
 
+// specDoc is the same two-phase-commit sketch as a verc3_model_v1 model
+// spec: variables are typed declarations, rules are guarded commands in
+// the spec expression language, and the two coordinator decisions are
+// `choose` holes. Saved to a file, this is exactly what
+// `verc3-synth -spec file.json` loads.
+const specDoc = `{
+  "format": "verc3_model_v1",
+  "name": "two-phase-commit-spec",
+  "processes": 2,
+  "vars": [
+    {"name": "ph", "type": "enum", "values": ["Collecting", "Committed", "Aborted"]},
+    {"name": "vote", "type": "int", "min": -1, "max": 1, "init": "-1", "array": true},
+    {"name": "applied", "type": "bool", "array": true}
+  ],
+  "rules": [
+    {"name": "worker %d votes yes", "per_process": true,
+     "guard": "ph == Collecting && vote[i] == -1", "action": ["vote[i] = 1"]},
+    {"name": "worker %d votes no", "per_process": true,
+     "guard": "ph == Collecting && vote[i] == -1", "action": ["vote[i] = 0"]},
+    {"name": "coordinator decides (all yes)",
+     "guard": "ph == Collecting && vote[0] == 1 && vote[1] == 1",
+     "action": [{"choose": "decide-on-all-yes", "among": [
+       {"name": "commit", "do": ["ph = Committed", "applied[0] = true", "applied[1] = true"]},
+       {"name": "abort", "do": ["ph = Aborted"]}]}]},
+    {"name": "coordinator decides (any no)",
+     "guard": "ph == Collecting && vote[0] != -1 && vote[1] != -1 && (vote[0] == 0 || vote[1] == 0)",
+     "action": [{"choose": "decide-on-any-no", "among": [
+       {"name": "commit", "do": ["ph = Committed", "applied[0] = true", "applied[1] = true"]},
+       {"name": "abort", "do": ["ph = Aborted"]}]}]}
+  ],
+  "invariants": [
+    {"name": "commit-needs-unanimous-yes", "expr": "ph != Committed || (vote[0] == 1 && vote[1] == 1)"},
+    {"name": "apply-only-on-commit", "expr": "ph == Committed || (!applied[0] && !applied[1])"}
+  ],
+  "goals": [
+    {"name": "some-commit-happens", "expr": "ph == Committed"}
+  ],
+  "quiescent": "ph != Collecting"
+}`
+
 func main() {
 	// Step 1: verify the complete (hole-free) protocol.
 	res, err := mc.Check(&system{sketch: false}, mc.Options{RecordTrace: true})
@@ -154,5 +206,23 @@ func main() {
 		out.Stats.Holes, out.Stats.Evaluated, out.Stats.CandidateSpace, len(out.Solutions))
 	for i := range out.Solutions {
 		fmt.Printf("  solution: %s\n", out.Describe(i))
+	}
+
+	// Step 3: the same sketch as data. spec.Parse validates the document
+	// (errors carry the JSON path of the offender) and compiles it onto
+	// the same substrate the hand-written system runs on; the compiled
+	// sketch synthesizes through the identical engine.
+	m, err := spec.Parse([]byte(specDoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	specOut, err := core.Synthesize(m.System(), core.Config{Mode: core.ModePrune})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spec-loaded sketch %q: %d holes, %d solution(s)\n",
+		m.Name(), specOut.Stats.Holes, len(specOut.Solutions))
+	for i := range specOut.Solutions {
+		fmt.Printf("  solution: %s\n", specOut.Describe(i))
 	}
 }

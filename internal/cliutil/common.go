@@ -1,0 +1,131 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"verc3/internal/mc"
+	"verc3/internal/spec"
+	"verc3/internal/visited"
+)
+
+// CommonFlags is the flag block every cmd/ binary shares: spec loading,
+// the visited-set backend and its sizing, memory statistics, pprof
+// profiles, and the telemetry trio. The binaries used to copy-paste these
+// declarations; now a new shared flag (like -spec) lands once, here, and
+// the help strings cannot drift apart. Binary-specific flags (-system,
+// -workers, synthesis modes, ...) stay in the binaries.
+type CommonFlags struct {
+	Spec        string // -spec: load the system from a JSON model spec
+	Stats       bool   // -stats
+	Visited     string // -visited (parse with Backend)
+	BitstateMB  int    // -bitstate-mb
+	SpillMemMB  int    // -spill-mem-mb
+	SpillDir    string // -spill-dir
+	CPUProfile  string // -cpuprofile
+	MemProfile  string // -memprofile
+	Progress    bool   // -progress
+	MetricsAddr string // -metrics-addr
+	Report      string // -report
+}
+
+// RegisterCommon declares the shared flags on the default FlagSet and
+// returns the struct their parsed values land in. Call it alongside the
+// binary's own flag declarations, before flag.Parse.
+func RegisterCommon() *CommonFlags {
+	c := &CommonFlags{}
+	flag.StringVar(&c.Spec, "spec", "", "load the system from a verc3_model_v1 JSON model spec file instead of the compiled-in zoo")
+	flag.BoolVar(&c.Stats, "stats", false, "print the exploration memory profile (peak frontier, trace store, allocations)")
+	flag.StringVar(&c.Visited, "visited", "flat", "visited-set backend: flat (open addressing), map, bitstate (lossy, fixed memory; the synthesis tools refuse it), or spill (exact, RAM-bounded, overflows to disk)")
+	flag.IntVar(&c.BitstateMB, "bitstate-mb", 0, "bitstate bit-array budget in MiB (0 = default 64; -visited bitstate only)")
+	flag.IntVar(&c.SpillMemMB, "spill-mem-mb", 0, "spill backend's in-RAM tier budget in MiB (0 = default 64; -visited spill only)")
+	flag.StringVar(&c.SpillDir, "spill-dir", "", "parent directory for spill run files (\"\" = OS temp dir; -visited spill only)")
+	flag.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	flag.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	flag.BoolVar(&c.Progress, "progress", false, "render a live status line on stderr (EWMA states/sec, depth, frontier, memory)")
+	flag.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve read-only metrics over HTTP on this address (/metrics Prometheus text, /metrics.json)")
+	flag.StringVar(&c.Report, "report", "", "write a machine-readable JSON run report to this file at exit")
+	return c
+}
+
+// Validate rejects negative values in the shared sizing flags and in any
+// binary-specific extras, which are checked first so errors surface in
+// the binary's historical flag order.
+func (c *CommonFlags) Validate(extra ...IntFlag) error {
+	return FirstNegative(append(extra,
+		IntFlag{Name: "-bitstate-mb", Value: int64(c.BitstateMB)},
+		IntFlag{Name: "-spill-mem-mb", Value: int64(c.SpillMemMB)},
+	)...)
+}
+
+// Backend parses the -visited flag.
+func (c *CommonFlags) Backend() (visited.Kind, error) {
+	return visited.ParseKind(c.Visited)
+}
+
+// ApplyMC fills the model-checker options derived from the common block:
+// backend selection and sizing, memory statistics, and driver phase
+// labels (only when a CPU profile is being taken — the labels cost a
+// goroutine-label store per phase switch).
+func (c *CommonFlags) ApplyMC(opt *mc.Options, backend visited.Kind) {
+	opt.MemStats = c.Stats
+	opt.Visited = backend
+	opt.BitstateMB = c.BitstateMB
+	opt.SpillMem = int64(c.SpillMemMB) << 20
+	opt.SpillDir = c.SpillDir
+	opt.ProfileLabels = c.CPUProfile != ""
+}
+
+// LoadSpec loads and compiles the -spec file. It returns (nil, nil) when
+// the flag is off; what to do with the model — refuse sketches, bind
+// holes — is the binary's decision.
+func (c *CommonFlags) LoadSpec() (*spec.Model, error) {
+	if c.Spec == "" {
+		return nil, nil
+	}
+	return spec.LoadFile(c.Spec)
+}
+
+// RefuseSpec exits with a friendly error when -spec was passed to a
+// fixed-workload tool (verc3-fig2, verc3-table1): the message points
+// sketch specs at verc3-synth and complete specs at verc3-verify, the
+// same redirect verc3-verify itself gives for sketches. workload names
+// what the tool regenerates ("the fixed Figure 2 workload"). A no-op
+// when -spec is off.
+func RefuseSpec(tool, workload string, c *CommonFlags) {
+	if c.Spec == "" {
+		return
+	}
+	target := "verc3-verify"
+	if m, err := spec.LoadFile(c.Spec); err == nil && m.Sketch() {
+		target = "verc3-synth"
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: this tool regenerates %s and takes no -spec.\nRun the spec model through the general tools instead:\n\n\t%s -spec %s\n",
+		tool, workload, target, c.Spec)
+	os.Exit(2)
+}
+
+// Start bundles the startup sequence every binary repeats: pprof
+// profiles, the profiled exit wrapper, and telemetry. The returned exit
+// function is valid even on error — callers report the error under their
+// own name and call exit(2), which still flushes whatever was started.
+func (c *CommonFlags) Start(tool, system string) (*Telemetry, func(code int), error) {
+	stopProf, err := StartProfiles(c.CPUProfile, c.MemProfile)
+	if err != nil {
+		return nil, func(code int) { os.Exit(code) }, err
+	}
+	exit := ProfiledExit(tool, stopProf)
+	tel, err := StartTelemetry(TelemetryOptions{
+		Tool:        tool,
+		System:      system,
+		Progress:    c.Progress,
+		MetricsAddr: c.MetricsAddr,
+		ReportPath:  c.Report,
+	})
+	if err != nil {
+		return nil, exit, err
+	}
+	return tel, exit, nil
+}

@@ -159,13 +159,3 @@ func (t *Telemetry) Finish(sum *RunSummary) error {
 	}
 	return first
 }
-
-// TelemetryFlags declares the three shared telemetry flags and returns
-// pointers in (progress, metricsAddr, report) order, keeping the four
-// binaries' flag blocks and help strings identical.
-func TelemetryFlags() (progress *bool, metricsAddr, report *string) {
-	progress = flag.Bool("progress", false, "render a live status line on stderr (EWMA states/sec, depth, frontier, memory)")
-	metricsAddr = flag.String("metrics-addr", "", "serve read-only metrics over HTTP on this address (/metrics Prometheus text, /metrics.json)")
-	report = flag.String("report", "", "write a machine-readable JSON run report to this file at exit")
-	return progress, metricsAddr, report
-}

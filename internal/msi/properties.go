@@ -2,6 +2,7 @@ package msi
 
 import (
 	"fmt"
+	"strings"
 
 	"verc3/internal/network"
 	"verc3/internal/ts"
@@ -180,14 +181,20 @@ func (sys *System) Goals() []ts.ReachGoal {
 
 // LivenessGoals implements ts.LivenessReporter: a cache with a write in
 // flight (the transient IM^AD / IM^A / SM^W states) eventually reaches M.
-// This is a TRUE NEGATIVE by design: with no fairness assumption (Fair is
-// false — the network substrate has no per-message delivery fairness to
-// declare), another cache holding M can absorb local stores forever while
-// the requester's GetM sits undelivered, so the checker reports a lasso.
-// The zoo's differential harness pins that counterexample; it is the
-// suite's known-answer liveness failure, exactly as the paper's handshake
-// invariants exist because deadlock detection alone misses parked
+//
+// Without Config.Fair this is a TRUE NEGATIVE by design: with no fairness
+// assumption (Fair is false — the plain variants declare no per-message
+// delivery fairness), another cache holding M can absorb local stores
+// forever while the requester's GetM sits undelivered, so the checker
+// reports a lasso. The zoo's differential harness pins that counterexample;
+// it is the suite's known-answer liveness failure, exactly as the paper's
+// handshake invariants exist because deadlock detection alone misses parked
 // transactions.
+//
+// With Config.Fair the goals demand weakly fair executions only (see
+// WeakFairness): the starvation lasso keeps a deliverable message parked on
+// its channel forever, is excluded as unfair, and the same goals pass —
+// the msi-fair zoo entry.
 func (sys *System) LivenessGoals() []ts.LivenessGoal {
 	goals := make([]ts.LivenessGoal, 0, sys.cfg.Caches)
 	for i := 0; i < sys.cfg.Caches; i++ {
@@ -195,6 +202,7 @@ func (sys *System) LivenessGoals() []ts.LivenessGoal {
 		goals = append(goals, ts.LivenessGoal{
 			Name: fmt.Sprintf("cache%d-write-completes", i),
 			Kind: ts.LeadsTo,
+			Fair: sys.cfg.Fair,
 			P: func(s ts.State) bool {
 				switch s.(*State).Caches[i].St {
 				case CacheIMAD, CacheIMA, CacheSMW:
@@ -206,4 +214,72 @@ func (sys *System) LivenessGoals() []ts.LivenessGoal {
 		})
 	}
 	return goals
+}
+
+// WeakFairness implements ts.FairnessReporter. With Config.Fair it declares
+// one weak-fairness requirement per ordered point-to-point channel — cache
+// to directory, directory to cache, and cache to cache: a channel cannot be
+// continuously nonempty while none of its deliveries ever fires. Matching
+// deliveries by name is why the Fair variant's delivery names carry the
+// sender. Two granularity decisions matter:
+//
+// Per-channel, not per-receiver: in the starvation lasso the directory
+// serves the other caches' messages infinitely often, so a per-receiver
+// requirement would be discharged by those deliveries and exclude nothing.
+//
+// Nonempty, not has-deliverable-message: the directory stalls requests
+// (GetS/GetM) while transient, so the starved writer's GetM is deliverable
+// only intermittently — under weak fairness an intermittently-enabled
+// requirement excludes nothing (that is strong fairness's job). Keying
+// Enabled on mere channel occupancy closes the gap, and is still a
+// realizable assumption in composition: a channel can only stay stalled
+// forever if its receiver parks in a transient state forever, which in this
+// protocol requires parking another channel's deliverable message — and
+// that channel's own requirement already excludes such runs. (A cache in
+// IS^D stalling Inv is unstuck by its Data delivery the same way.)
+//
+// The plain variants return nil; their goals are not Fair, so the liveness
+// checker never consults this and their pinned counterexamples are
+// untouched.
+func (sys *System) WeakFairness() []ts.Fairness {
+	if !sys.cfg.Fair {
+		return nil
+	}
+	n := sys.cfg.Caches
+	reqs := make([]ts.Fairness, 0, n*n+n)
+	channel := func(name string, src, dst int, takenPrefix, takenFrom string) {
+		reqs = append(reqs, ts.Fairness{
+			Name: name,
+			Enabled: func(s ts.State) bool {
+				st := s.(*State)
+				if st.Err != "" {
+					return false // poisoned states offer no transitions at all
+				}
+				return st.Net.Any(func(m network.Msg) bool {
+					return m.Src == src && m.Dst == dst
+				})
+			},
+			Taken: func(rule string) bool {
+				return strings.HasPrefix(rule, takenPrefix) && strings.Contains(rule, takenFrom)
+			},
+		})
+	}
+	for j := 0; j < n; j++ {
+		channel(fmt.Sprintf("net-c%d-to-dir", j), j, sys.dirID,
+			"dir: recv ", fmt.Sprintf(" from c%d in ", j))
+	}
+	for i := 0; i < n; i++ {
+		channel(fmt.Sprintf("net-dir-to-c%d", i), sys.dirID, i,
+			fmt.Sprintf("c%d: recv ", i), " from dir in ")
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			channel(fmt.Sprintf("net-c%d-to-c%d", j, i), j, i,
+				fmt.Sprintf("c%d: recv ", i), fmt.Sprintf(" from c%d in ", j))
+		}
+	}
+	return reqs
 }

@@ -46,6 +46,13 @@ type Config struct {
 	Caches int
 	// Variant selects Complete / Small / Large.
 	Variant Variant
+	// Fair declares per-channel network-delivery weak fairness: a deliverable
+	// message on an ordered (sender, receiver) channel is eventually
+	// delivered. Delivery transition names then carry the sender (so fairness
+	// requirements can recognize a channel's deliveries by name), the
+	// liveness goals become Fair, and the starvation lasso the plain variant
+	// exhibits is excluded as unfair — the same goals pass.
+	Fair bool
 }
 
 // System implements ts.System for the MSI protocol, plus the successor
@@ -94,10 +101,18 @@ type nameTables struct {
 	store        []string
 	cacheRecv    [][len(msgTypes)][numCacheStates]string
 	dirRecv      [len(msgTypes)][numDirStates]string
+	// The Fair variant's delivery names additionally carry the sender
+	// ("c1: recv Data from dir in IS_D"), so per-channel fairness
+	// requirements can recognize a channel's deliveries by rule name. Nil
+	// unless Config.Fair — the plain variants keep their exact historical
+	// names, which the differential suite pins (including the msi-complete
+	// starvation lasso).
+	cacheRecvFrom [][][len(msgTypes)][numCacheStates]string // [dst][src]; src == caches is the directory
+	dirRecvFrom   [][len(msgTypes)][numDirStates]string     // [src]
 }
 
 // buildNames precomputes the transition-name tables for a cache count.
-func buildNames(caches int) nameTables {
+func buildNames(caches int, fair bool) nameTables {
 	nt := nameTables{
 		issueRead:    make([]string, caches),
 		issueWrite:   make([]string, caches),
@@ -119,6 +134,33 @@ func buildNames(caches int) nameTables {
 	for t, mt := range msgTypes {
 		for ds := DirState(0); ds < numDirStates; ds++ {
 			nt.dirRecv[t][ds] = fmt.Sprintf("dir: recv %s in %s", mt, ds)
+		}
+	}
+	if !fair {
+		return nt
+	}
+	from := make([]string, caches+1)
+	for j := 0; j < caches; j++ {
+		from[j] = fmt.Sprintf("c%d", j)
+	}
+	from[caches] = "dir"
+	nt.cacheRecvFrom = make([][][len(msgTypes)][numCacheStates]string, caches)
+	for i := 0; i < caches; i++ {
+		nt.cacheRecvFrom[i] = make([][len(msgTypes)][numCacheStates]string, caches+1)
+		for j := 0; j <= caches; j++ {
+			for t, mt := range msgTypes {
+				for cs := CacheState(0); cs < numCacheStates; cs++ {
+					nt.cacheRecvFrom[i][j][t][cs] = fmt.Sprintf("c%d: recv %s from %s in %s", i, mt, from[j], cs)
+				}
+			}
+		}
+	}
+	nt.dirRecvFrom = make([][len(msgTypes)][numDirStates]string, caches)
+	for j := 0; j < caches; j++ {
+		for t, mt := range msgTypes {
+			for ds := DirState(0); ds < numDirStates; ds++ {
+				nt.dirRecvFrom[j][t][ds] = fmt.Sprintf("dir: recv %s from c%d in %s", mt, j, ds)
+			}
 		}
 	}
 	return nt
@@ -154,7 +196,7 @@ func New(cfg Config) *System {
 		holes[ruleCacheSMWInv] = true
 		holes[ruleCacheIMAAck1] = true
 	}
-	return &System{cfg: cfg, dirID: cfg.Caches, holes: holes, names: buildNames(cfg.Caches)}
+	return &System{cfg: cfg, dirID: cfg.Caches, holes: holes, names: buildNames(cfg.Caches, cfg.Fair)}
 }
 
 // succ returns a successor state equal to st, drawing storage from the
@@ -188,7 +230,12 @@ func (sys *System) PoolStats() (hits, misses uint64) {
 }
 
 // Name implements ts.System.
-func (sys *System) Name() string { return sys.cfg.Variant.String() }
+func (sys *System) Name() string {
+	if sys.cfg.Fair {
+		return sys.cfg.Variant.String() + "-fair"
+	}
+	return sys.cfg.Variant.String()
+}
 
 // DirID returns the directory's agent index (== number of caches).
 func (sys *System) DirID() int { return sys.dirID }
@@ -411,7 +458,11 @@ func (sys *System) cacheDelivery(st *State, mi int, m network.Msg) (ts.Transitio
 	c := st.Caches[i]
 	var name string
 	if t := msgIndex(m.Type); t >= 0 {
-		name = sys.names.cacheRecv[i][t][c.St]
+		if sys.cfg.Fair && m.Src >= 0 && m.Src <= sys.dirID {
+			name = sys.names.cacheRecvFrom[i][m.Src][t][c.St]
+		} else {
+			name = sys.names.cacheRecv[i][t][c.St]
+		}
 	} else {
 		name = fmt.Sprintf("c%d: recv %s in %s", i, m.Type, c.St)
 	}
@@ -537,7 +588,11 @@ func (sys *System) dirDelivery(st *State, mi int, m network.Msg) (ts.Transition,
 	d := st.Dir
 	var name string
 	if t := msgIndex(m.Type); t >= 0 {
-		name = sys.names.dirRecv[t][d.St]
+		if sys.cfg.Fair && m.Src >= 0 && m.Src < sys.dirID {
+			name = sys.names.dirRecvFrom[m.Src][t][d.St]
+		} else {
+			name = sys.names.dirRecv[t][d.St]
+		}
 	} else {
 		name = fmt.Sprintf("dir: recv %s in %s", m.Type, d.St)
 	}

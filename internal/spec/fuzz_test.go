@@ -1,0 +1,70 @@
+package spec_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"verc3/internal/spec"
+)
+
+// FuzzSpecLoader is the loader's robustness contract: arbitrary bytes must
+// never panic the parser or compiler — every rejection is a *spec.SpecError
+// carrying a non-empty path — and anything accepted must survive the
+// canonical marshal→parse→marshal cycle. The committed example specs seed
+// the corpus so mutations start from deep valid documents.
+func FuzzSpecLoader(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join(specDir, "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(minimal))
+	f.Add([]byte(`{"format": "verc3_model_v1"`))
+	f.Add([]byte(`{"format": "verc3_model_v1", "name": "m", "processes": 2,
+		"vars": [{"name": "pc", "type": "enum", "values": ["A", "B"], "array": true}],
+		"rules": [{"name": "r%d: go", "per_process": true, "guard": "pc[i] == A",
+			"action": [{"if": "forall(j, pc[j] == A)", "then": ["pc[i] = B"],
+				"else": [{"choose": "h", "among": [
+					{"name": "x", "do": ["pc[i] = A"]},
+					{"name": "y", "do": ["pc[i] = B"]}]}]}]}],
+		"invariants": [{"name": "inv", "expr": "count(j, pc[j] == B) <= 2"}]}`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(`"verc3_model_v1"`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := spec.Parse(data)
+		if err != nil {
+			var se *spec.SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("rejection is %T, want *spec.SpecError: %v", err, err)
+			}
+			if se.Path == "" {
+				t.Fatalf("SpecError with empty path: %v", err)
+			}
+			return
+		}
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted spec fails to marshal: %v", err)
+		}
+		m2, err := spec.Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form of accepted spec is rejected: %v\n%s", err, out)
+		}
+		out2, err := m2.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out2) != string(out) {
+			t.Fatalf("canonicalization not idempotent:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}

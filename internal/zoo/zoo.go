@@ -1,11 +1,14 @@
 // Package zoo registers the built-in systems so the command-line tools can
-// select them by name.
+// select them by name. Beyond the compiled-in table, Register adds entries
+// at runtime — the hook the spec frontend uses to make loaded model files
+// (internal/spec) sit beside compiled-in systems.
 package zoo
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"verc3/internal/msi"
 	"verc3/internal/mutex"
@@ -29,6 +32,10 @@ type entry struct {
 	sketch bool
 }
 
+// mu guards builders: the compiled-in table is fixed, but Register and
+// Unregister mutate it at runtime.
+var mu sync.RWMutex
+
 // builders maps system names to their registry entries.
 var builders = map[string]entry{
 	"msi-complete": {build: func(p Params) ts.System {
@@ -40,6 +47,13 @@ var builders = map[string]entry{
 	// symmetry reduction it is the biggest state space in the zoo.
 	"msi-complete-4": {build: func(Params) ts.System {
 		return msi.New(msi.Config{Caches: 4, Variant: msi.Complete})
+	}},
+	// msi-fair is the complete protocol plus per-channel network-delivery
+	// weak fairness: the starvation lasso msi-complete exhibits (the
+	// directory serving the readers forever while a writer's request sits
+	// in flight) is excluded as unfair, so the same liveness goals pass.
+	"msi-fair": {build: func(p Params) ts.System {
+		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Complete, Fair: true})
 	}},
 	"msi-small": {sketch: true, build: func(p Params) ts.System {
 		return msi.New(msi.Config{Caches: p.Caches, Variant: msi.Small})
@@ -54,9 +68,34 @@ var builders = map[string]entry{
 	"token-ring-sketch": {sketch: true, build: func(Params) ts.System { return tokenring.New(true) }},
 }
 
+// Register adds a system at runtime (e.g. one loaded from a spec file).
+// Names must not collide with an existing entry, compiled-in or dynamic.
+func Register(name string, build func(Params) ts.System, sketch bool) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("zoo: Register needs a name and a constructor")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := builders[name]; dup {
+		return fmt.Errorf("zoo: system %q is already registered", name)
+	}
+	builders[name] = entry{build: build, sketch: sketch}
+	return nil
+}
+
+// Unregister removes a dynamically registered system. Removing a name that
+// is not registered is a no-op.
+func Unregister(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(builders, name)
+}
+
 // Get builds the named system.
 func Get(name string, p Params) (ts.System, error) {
+	mu.RLock()
 	e, ok := builders[name]
+	mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("unknown system %q (available: %s)", name, strings.Join(Names(), ", "))
 	}
@@ -66,10 +105,16 @@ func Get(name string, p Params) (ts.System, error) {
 // IsSketch reports whether the named system is a synthesis sketch — a
 // skeleton with unassigned holes that only the synthesis engine can
 // resolve. Unknown names report false (Get is where names are validated).
-func IsSketch(name string) bool { return builders[name].sketch }
+func IsSketch(name string) bool {
+	mu.RLock()
+	defer mu.RUnlock()
+	return builders[name].sketch
+}
 
 // SketchNames lists the registered sketch systems in sorted order.
 func SketchNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
 	out := make([]string, 0, len(builders))
 	for n, e := range builders {
 		if e.sketch {
@@ -82,6 +127,8 @@ func SketchNames() []string {
 
 // Names lists the registered system names in sorted order.
 func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
 	out := make([]string, 0, len(builders))
 	for n := range builders {
 		out = append(out, n)
