@@ -6,8 +6,8 @@
 // Usage:
 //
 //	verc3-fig2 [-visited flat|map|spill] [-bitstate-mb N] [-spill-mem-mb N]
-//	           [-spill-dir DIR] [-progress] [-metrics-addr ADDR] [-report FILE]
-//	           [-cpuprofile FILE] [-memprofile FILE] [-stats]
+//	           [-spill-dir DIR] [-timeout D] [-progress] [-metrics-addr ADDR]
+//	           [-report FILE] [-cpuprofile FILE] [-memprofile FILE] [-stats]
 //
 // The workload is fixed (the paper's chain system), so the shared -spec
 // flag is refused with a pointer to verc3-verify/verc3-synth.
@@ -61,7 +61,8 @@ func main() {
 	var events []core.Event
 	var mcOpt mc.Options
 	cf.ApplyMC(&mcOpt, backend)
-	res, err := core.Synthesize(g, core.Config{
+	ctx, stop := cf.Context("verc3-fig2")
+	res, err := core.SynthesizeCtx(ctx, g, core.Config{
 		Mode: core.ModePrune,
 		MC:   mcOpt,
 		Obs:  tel.Collector(),
@@ -82,11 +83,17 @@ func main() {
 		exit(2)
 	}
 
-	naive, err := core.Synthesize(g, core.Config{Mode: core.ModeNaive, MC: mcOpt, Obs: tel.Collector()})
+	naive, err := core.SynthesizeCtx(ctx, g, core.Config{Mode: core.ModeNaive, MC: mcOpt, Obs: tel.Collector()})
+	stop()
 	if err != nil {
 		tel.Finish(nil)
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
 		exit(2)
+	}
+	aborted := res.Stats.Aborted || naive.Stats.Aborted
+	abortCause := res.Stats.AbortCause
+	if abortCause == "" {
+		abortCause = naive.Stats.AbortCause
 	}
 
 	// The run table above streamed straight to stdout; only the trailing
@@ -109,10 +116,20 @@ func main() {
 	fmt.Fprintln(out, "Paper (Fig. 2): 10 runs with pruning versus 24 naive candidates.")
 	agg := res.Stats.Space
 	agg.Merge(naive.Stats.Space)
+	verdict := "completed"
 	code := 0
-	if err := tel.Finish(&cliutil.RunSummary{Verdict: "completed", Exact: true, Space: agg}); err != nil {
+	if aborted {
+		fmt.Fprintf(out, "\nABORTED: %s (counts above cover the completed prefix)\n", abortCause)
+		verdict, code = "aborted", 3
+	}
+	if err := tel.Finish(&cliutil.RunSummary{
+		Verdict: verdict, Exact: true, Space: agg,
+		Aborted: aborted, AbortCause: abortCause,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-fig2:", err)
-		code = 2
+		if code == 0 {
+			code = 2
+		}
 	}
 	exit(code)
 }

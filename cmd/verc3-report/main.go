@@ -9,6 +9,10 @@
 //	verc3-report report.json...           summarize each report
 //	verc3-report -validate report.json... schema-check only (quiet)
 //
+// Both report schema versions validate: version 1 (pre-abort) and
+// version 2, whose abort/resume fields (aborted, abort_cause, resumed)
+// the summary surfaces when present.
+//
 // Exit status is 0 when every report parses and validates, 1 otherwise.
 package main
 
@@ -58,6 +62,12 @@ func summarize(path string, r *obs.Report) {
 	fmt.Printf(" (%s %s/%s, GOMAXPROCS=%d, %s)\n",
 		r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS, r.Start.Format(time.RFC3339))
 	fmt.Printf("  verdict:  %s (exact=%v) in %v\n", r.Verdict, r.Exact, elapsed.Round(time.Millisecond))
+	if r.Aborted {
+		fmt.Printf("  aborted:  %s\n", r.AbortCause)
+	}
+	if r.Resumed {
+		fmt.Printf("  resumed:  true (run seeded from a checkpoint; counts include the prefix)\n")
+	}
 	states := r.Final.Counters[obs.CStates]
 	rate := 0.0
 	if r.ElapsedNS > 0 {

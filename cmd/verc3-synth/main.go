@@ -8,10 +8,17 @@
 //	verc3-synth -system msi-small [-caches 2] [-mode prune|naive]
 //	            [-workers 4] [-mc-workers 1] [-style full|trace] [-max-eval N]
 //	            [-liveness] [-visited flat|map|spill] [-spill-mem-mb N]
-//	            [-spill-dir DIR] [-progress] [-metrics-addr ADDR]
+//	            [-spill-dir DIR] [-timeout D] [-progress] [-metrics-addr ADDR]
 //	            [-report FILE] [-cpuprofile FILE] [-memprofile FILE]
 //	            [-stats] [-v]
 //	verc3-synth -spec examples/specs/mutex-sketch.json [...]
+//
+// -timeout bounds the search's wall-clock time; SIGINT/SIGTERM cancel it
+// the same way. The search winds down cooperatively: in-flight candidate
+// checks abort, the partial statistics print with an ABORTED note, exit
+// code is 3, and profiles and -report still flush. A candidate whose
+// model code panics is contained — it is recorded as a failed candidate
+// (never generalized into a pruning pattern) and the search continues.
 //
 // -spec loads the sketch from a JSON model spec (see internal/spec): its
 // choose holes are discovered and bound through the same engine as
@@ -130,8 +137,10 @@ func main() {
 		cfg.Log = func(f string, a ...any) { tel.Logf("· "+f, a...) }
 	}
 
+	ctx, stop := cf.Context("verc3-synth")
 	start := time.Now()
-	res, err := core.Synthesize(sys, cfg)
+	res, err := core.SynthesizeCtx(ctx, sys, cfg)
+	stop()
 	if err != nil {
 		tel.Finish(nil)
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
@@ -150,7 +159,13 @@ func main() {
 	fmt.Fprintf(out, "pruned (skipped): %d\n", st.Skipped)
 	fmt.Fprintf(out, "pruning patterns: %d\n", st.Patterns)
 	fmt.Fprintf(out, "verdicts:         %d success / %d failure / %d unknown\n", st.Successes, st.Failures, st.Unknowns)
+	if st.Panicked > 0 {
+		fmt.Fprintf(out, "panicked:         %d (contained model-code panics; counted as failures, never generalized into pruning patterns)\n", st.Panicked)
+	}
 	fmt.Fprintf(out, "rounds:           %d\n", st.Rounds)
+	if st.Aborted {
+		fmt.Fprintf(out, "ABORTED: %s (search cut short; counts above cover the completed prefix)\n", st.AbortCause)
+	}
 	if st.Truncated {
 		fmt.Fprintf(out, "NOTE: truncated by -max-eval=%d\n", *maxEval)
 	}
@@ -171,11 +186,15 @@ func main() {
 		verdict = "no-solutions"
 	}
 	code := 0
-	if len(res.Solutions) == 0 && !st.Truncated {
+	if len(res.Solutions) == 0 && !st.Truncated && !st.Aborted {
 		code = 1
+	}
+	if st.Aborted {
+		code = 3
 	}
 	if err := tel.Finish(&cliutil.RunSummary{
 		Verdict: verdict, Exact: true, Space: st.Space,
+		Aborted: st.Aborted, AbortCause: st.AbortCause,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-synth:", err)
 		if code == 0 {

@@ -13,9 +13,13 @@
 //
 //	verc3-table1 [-caches 2] [-workers 4] [-mc-workers 1] [-naive-large-max 20000]
 //	             [-full] [-skip-naive] [-visited flat|map|spill]
-//	             [-spill-mem-mb N] [-spill-dir DIR] [-stats]
+//	             [-spill-mem-mb N] [-spill-dir DIR] [-timeout D] [-stats]
 //	             [-progress] [-metrics-addr ADDR] [-report FILE]
 //	             [-cpuprofile FILE] [-memprofile FILE]
+//
+// -timeout (or SIGINT/SIGTERM) bounds the whole table regeneration: the
+// in-flight row aborts cooperatively, remaining rows are skipped, the
+// rows that did finish still print, and the exit code is 3.
 //
 // The workload is fixed (the paper's MSI sketches), so the shared -spec
 // flag is refused with a pointer to verc3-verify/verc3-synth.
@@ -97,7 +101,10 @@ func main() {
 		rows[3].truncate = 0
 	}
 
+	ctx, stop := cf.Context("verc3-table1")
 	var aggSpace statespace.Stats
+	aborted := false
+	abortCause := ""
 	for _, r := range rows {
 		if *skipNaive && r.mode == core.ModeNaive {
 			continue
@@ -107,7 +114,7 @@ func main() {
 		start := time.Now()
 		mcOpt := mc.Options{Symmetry: true}
 		cf.ApplyMC(&mcOpt, backend)
-		res, err := core.Synthesize(sys, core.Config{
+		res, err := core.SynthesizeCtx(ctx, sys, core.Config{
 			Mode:           r.mode,
 			Workers:        r.workers,
 			MCWorkers:      *mcWorkers,
@@ -123,6 +130,11 @@ func main() {
 		r.res = res
 		r.elapsed = time.Since(start)
 		aggSpace.Merge(res.Stats.Space)
+		if res.Stats.Aborted {
+			aborted, abortCause = true, res.Stats.AbortCause
+			tel.Logf("  %-34s aborted: %s; skipping remaining rows", r.name, abortCause)
+			break
+		}
 		if res.Stats.Truncated {
 			perCand := r.elapsed / time.Duration(res.Stats.Evaluated)
 			r.fullSpace = res.Stats.CandidateSpace
@@ -130,6 +142,7 @@ func main() {
 		}
 		tel.Logf("  %-34s %v", r.name, r.elapsed.Round(time.Millisecond))
 	}
+	stop()
 
 	out := tel.Status()
 	fmt.Fprintf(out, "\nTable I (regenerated; caches=%d, GOMAXPROCS-bound parallelism)\n\n", *caches)
@@ -150,6 +163,9 @@ func main() {
 			tm = fmt.Sprintf("~%v (extrapolated)", r.extrapol.Round(time.Minute))
 			ev = fmt.Sprintf("%d (sampled; full=%d)", st.Evaluated, r.fullSpace)
 		}
+		if st.Aborted {
+			tm = fmt.Sprintf("%v (aborted)", r.elapsed.Round(10*time.Millisecond))
+		}
 		fmt.Fprintf(out, "%-34s %6d %14d %18s %12s %10d %14s\n",
 			r.name, st.Holes, st.CandidateSpace, pat, ev, len(r.res.Solutions), tm)
 	}
@@ -163,9 +179,11 @@ func main() {
 		}
 	}
 
-	// Derived headline metrics, mirroring §III's discussion.
+	// Derived headline metrics, mirroring §III's discussion. Aborted rows
+	// carry partial times that would skew every ratio, so they opt out.
+	done := func(r *row) bool { return r.res != nil && !r.res.Stats.Aborted }
 	speedup := func(naive, prune *row) {
-		if naive.res == nil || prune.res == nil {
+		if !done(naive) || !done(prune) {
 			return
 		}
 		nt := naive.elapsed
@@ -186,18 +204,28 @@ func main() {
 	}
 	speedup(rows[0], rows[1])
 	speedup(rows[3], rows[4])
-	if rows[1].res != nil && rows[2].res != nil {
+	if done(rows[1]) && done(rows[2]) {
 		fmt.Fprintf(out, "parallel small: %.2fx over 1-thread pruning (paper: 1.5x; needs >1 CPU to materialize)\n",
 			float64(rows[1].elapsed)/float64(rows[2].elapsed))
 	}
-	if rows[4].res != nil && rows[5].res != nil {
+	if done(rows[4]) && done(rows[5]) {
 		fmt.Fprintf(out, "parallel large: %.2fx over 1-thread pruning (paper: 2.5x; needs >1 CPU to materialize)\n",
 			float64(rows[4].elapsed)/float64(rows[5].elapsed))
 	}
+	verdict := "completed"
 	code := 0
-	if err := tel.Finish(&cliutil.RunSummary{Verdict: "completed", Exact: true, Space: aggSpace}); err != nil {
+	if aborted {
+		fmt.Fprintf(out, "\nABORTED: %s (rows after the break were skipped)\n", abortCause)
+		verdict, code = "aborted", 3
+	}
+	if err := tel.Finish(&cliutil.RunSummary{
+		Verdict: verdict, Exact: true, Space: aggSpace,
+		Aborted: aborted, AbortCause: abortCause,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-table1:", err)
-		code = 2
+		if code == 0 {
+			code = 2
+		}
 	}
 	exit(code)
 }

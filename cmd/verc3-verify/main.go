@@ -10,9 +10,24 @@
 //	             [-liveness] [-dfs] [-workers N] [-shard-bits B] [-no-trace]
 //	             [-no-recycle] [-stats] [-visited flat|map|bitstate|spill]
 //	             [-bitstate-mb N] [-spill-mem-mb N] [-spill-dir DIR]
+//	             [-timeout D] [-checkpoint-dir DIR] [-resume] [-checkpoint-every D]
 //	             [-progress] [-metrics-addr ADDR] [-report FILE]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 //	verc3-verify -spec examples/specs/tokenring.json [-liveness] [...]
+//
+// -timeout bounds the run's wall-clock time; SIGINT/SIGTERM cancel it the
+// same way. Either path winds the run down cooperatively: the verdict is
+// "aborted" (exit code 3), partial statistics are printed, and profiles,
+// -report and spill cleanup still happen. A second signal exits
+// immediately.
+//
+// -checkpoint-dir snapshots the run at BFS level boundaries (atomically
+// committed; at most one checkpoint is kept) and -resume seeds the run
+// from the newest snapshot, reproducing the uninterrupted run's verdict
+// and counts bit-identically. Saves are throttled so checkpointing costs
+// at most ~5% of wall-clock; -checkpoint-every overrides the spacing
+// (negative = every boundary). Checkpointing requires BFS order, an exact
+// visited backend and -no-trace.
 //
 // -spec loads the system from a JSON model spec (see internal/spec and the
 // committed examples under examples/specs/) instead of the compiled-in
@@ -61,6 +76,7 @@ func main() {
 		noRecycle = flag.Bool("no-recycle", false, "disable successor recycling (fresh clone per transition; ablation knob)")
 	)
 	cf := cliutil.RegisterCommon()
+	ck := cliutil.RegisterCheckpoint()
 	flag.Parse()
 
 	if err := cf.Validate(
@@ -70,6 +86,16 @@ func main() {
 		cliutil.IntFlag{Name: "-shard-bits", Value: int64(*shardBits)},
 	); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
+		os.Exit(2)
+	}
+	if err := ck.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
+		os.Exit(2)
+	}
+	if ck.Dir != "" && !*noTrace {
+		fmt.Fprintln(os.Stderr,
+			"verc3-verify: -checkpoint-dir requires -no-trace: checkpoints snapshot only\n"+
+				"fingerprints and the frontier, so trace parent chains cannot survive a resume.")
 		os.Exit(2)
 	}
 
@@ -136,11 +162,14 @@ func main() {
 		Liveness:    *liveness,
 	}
 	cf.ApplyMC(&opt, backend)
+	ck.ApplyMC(&opt)
 	if *dfs {
 		opt.Order = mc.DFS
 	}
+	ctx, stop := cf.Context("verc3-verify")
 	start := time.Now()
-	res, err := mc.Check(sys, opt)
+	res, err := mc.CheckCtx(ctx, sys, opt)
+	stop()
 	if err != nil {
 		tel.Finish(nil)
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
@@ -152,6 +181,17 @@ func main() {
 	st := tel.Status()
 	fmt.Fprintf(st, "system:      %s\n", sys.Name())
 	fmt.Fprintf(st, "verdict:     %s\n", res.Verdict)
+	abortCause := ""
+	if res.Abort != nil {
+		abortCause = res.Abort.Cause.Error()
+		fmt.Fprintf(st, "abort cause: %s\n", abortCause)
+		if res.Abort.Panic && res.Abort.StateKey != "" {
+			fmt.Fprintf(st, "panic state: %s\n", res.Abort.StateKey)
+		}
+	}
+	if res.Resumed {
+		fmt.Fprintf(st, "resumed:     true (seeded from checkpoint; counts include the checkpointed prefix)\n")
+	}
 	fmt.Fprintf(st, "states:      %d\n", res.Stats.VisitedStates)
 	fmt.Fprintf(st, "transitions: %d\n", res.Stats.FiredTransitions)
 	fmt.Fprintf(st, "max depth:   %d\n", res.Stats.MaxDepth)
@@ -172,8 +212,17 @@ func main() {
 		fmt.Fprint(st, trace.Format(res.Failure, trace.Options{ShowStates: *states}))
 		code = 1
 	}
+	if res.Verdict == mc.Aborted {
+		code = 3
+		if res.Abort.Panic && res.Abort.Stack != "" {
+			// The contained panic's stack goes to stderr, not the summary:
+			// it is diagnostic output, like any other crash report.
+			fmt.Fprintf(os.Stderr, "verc3-verify: model panic at state %q:\n%s", res.Abort.StateKey, res.Abort.Stack)
+		}
+	}
 	if err := tel.Finish(&cliutil.RunSummary{
 		Verdict: res.Verdict.String(), Exact: res.Exact, Space: res.Space,
+		Aborted: res.Verdict == mc.Aborted, AbortCause: abortCause, Resumed: res.Resumed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "verc3-verify:", err)
 		if code == 0 {

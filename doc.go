@@ -34,6 +34,11 @@
 //     scratch — one reusable permuted clone (ts.InPlacePermuter) plus two
 //     key buffers — at zero steady-state allocations; the string Key path
 //     remains for traces and the keying ablation.
+//   - internal/faultfs — the filesystem seam under the spill backend and
+//     the checkpoint writer: a small FS/File interface over the real OS,
+//     a deterministic fault injector for tests (planned errors, short
+//     writes, transient glitches per operation), and the shared
+//     transient-retry policy (capped backoff; hard faults never retried).
 //   - internal/mc — the embedded explicit-state model checker: sequential
 //     (deterministic, minimal BFS counterexamples) and level-parallel BFS
 //     drivers over the shared fingerprint keying scheme with per-worker
@@ -41,6 +46,9 @@
 //     plus an opt-in nested-DFS liveness pass (mc.Options.Liveness) that
 //     checks declared ts.LivenessGoal properties under weak fairness and
 //     reports violations as lasso counterexamples (stem + cycle).
+//     Runs are cancellable (mc.CheckCtx), contain model-code panics as
+//     diagnosable Aborted verdicts, and can checkpoint at BFS level
+//     boundaries and resume bit-identically (Options.CheckpointDir).
 //   - internal/core — the paper's contribution: synthesis by lazy hole
 //     discovery and candidate pruning, with cross-candidate and intra-check
 //     parallelism sharing one budget (core.SplitParallelism).
@@ -65,7 +73,11 @@
 // fixed-workload tools refuse the flag entirely), -stats prints the
 // memory profile, -visited flat|map|bitstate|spill selects the
 // visited-set backend, sized with -bitstate-mb / -spill-mem-mb /
-// -spill-dir, and -cpuprofile / -memprofile write pprof profiles —
+// -spill-dir, -timeout puts a wall-clock deadline on the run (expiry —
+// like SIGINT/SIGTERM — cancels cooperatively: partial stats, profiles
+// and -report still flush, exit code 3), verc3-verify's -checkpoint-dir
+// / -resume / -checkpoint-every snapshot and resume long runs, and
+// -cpuprofile / -memprofile write pprof profiles —
 // which also turns on per-phase goroutine labels (mc-phase =
 // enumerate/fire/key/insert) so profiles split the exploration loop by
 // phase; negative sizing or parallelism values are rejected up front
@@ -153,6 +165,26 @@
 // messages), and the msi-fair zoo entry is the same protocol plus
 // per-channel delivery fairness, under which that lasso is excluded as
 // unfair and the same goals pass.
+//
+// # Failure model
+//
+// Runs that cannot finish still report honestly. Cancellation (context
+// deadline, -timeout, SIGINT/SIGTERM) is cooperative — polled at level
+// boundaries and every 1024 expansions — and returns the Aborted verdict
+// with true partial statistics and the cancel cause; a definite property
+// violation found first outranks it, and an aborted run never claims
+// goal or liveness results for states it did not visit. Panics in model
+// code are recovered in both drivers and surface as an Aborted verdict
+// carrying the offending state's key and the stack; in synthesis a
+// panicking candidate is counted as a failed candidate (Stats.Panicked)
+// — never a pruning pattern — and the search continues. BFS runs with
+// mc.Options.CheckpointDir snapshot visited + frontier + statistics at
+// level boundaries (atomic rename commit, at most one snapshot kept,
+// save frequency throttled to ~5% overhead) and Resume restores them
+// bit-identically, across drivers and backends. All spill and
+// checkpoint I/O goes through the internal/faultfs seam: transient
+// faults retry with capped backoff, hard faults go sticky and surface
+// instead of corrupting the run. See DESIGN.md "Failure model".
 //
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation plus this repo's ablations (parallel

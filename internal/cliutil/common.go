@@ -1,9 +1,13 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"verc3/internal/mc"
 	"verc3/internal/spec"
@@ -28,6 +32,11 @@ type CommonFlags struct {
 	Progress    bool   // -progress
 	MetricsAddr string // -metrics-addr
 	Report      string // -report
+	// Timeout is -timeout: the run's wall-clock deadline (0 = none). The
+	// deadline cancels cooperatively — the checker stops at the next poll
+	// with an Aborted verdict, partial statistics intact — rather than
+	// killing the process.
+	Timeout time.Duration
 }
 
 // RegisterCommon declares the shared flags on the default FlagSet and
@@ -46,6 +55,7 @@ func RegisterCommon() *CommonFlags {
 	flag.BoolVar(&c.Progress, "progress", false, "render a live status line on stderr (EWMA states/sec, depth, frontier, memory)")
 	flag.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve read-only metrics over HTTP on this address (/metrics Prometheus text, /metrics.json)")
 	flag.StringVar(&c.Report, "report", "", "write a machine-readable JSON run report to this file at exit")
+	flag.DurationVar(&c.Timeout, "timeout", 0, "wall-clock deadline for the run (e.g. 90s, 5m; 0 = none); on expiry the run aborts cooperatively, keeping partial stats, profiles and -report")
 	return c
 }
 
@@ -53,10 +63,87 @@ func RegisterCommon() *CommonFlags {
 // binary-specific extras, which are checked first so errors surface in
 // the binary's historical flag order.
 func (c *CommonFlags) Validate(extra ...IntFlag) error {
-	return FirstNegative(append(extra,
+	if err := FirstNegative(append(extra,
 		IntFlag{Name: "-bitstate-mb", Value: int64(c.BitstateMB)},
 		IntFlag{Name: "-spill-mem-mb", Value: int64(c.SpillMemMB)},
-	)...)
+	)...); err != nil {
+		return err
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("flag -timeout: negative duration %v (use 0 for no deadline)", c.Timeout)
+	}
+	return nil
+}
+
+// Context builds the run's root context from the shared flags and the
+// process signals: bounded by -timeout when set, and cancelled with a
+// descriptive cause on the first SIGINT/SIGTERM so the run winds down
+// cooperatively — the checker aborts at its next poll, spill run
+// directories are cleaned up, and profiles and -report still flush on the
+// normal exit path. A second signal exits immediately with code 130 (the
+// escape hatch when the first cancel is not being honoured). The returned
+// stop function releases the signal handler and the deadline timer; call
+// it once the run returns.
+func (c *CommonFlags) Context(tool string) (context.Context, func()) {
+	base, cancel := context.WithCancelCause(context.Background())
+	ctx := context.Context(base)
+	stopTimeout := context.CancelFunc(func() {})
+	if c.Timeout > 0 {
+		ctx, stopTimeout = context.WithTimeoutCause(ctx, c.Timeout,
+			fmt.Errorf("-timeout %v elapsed", c.Timeout))
+	}
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: received %v; aborting cooperatively (again to exit immediately)\n", tool, s)
+		cancel(fmt.Errorf("received %v", s))
+		if s, ok = <-sig; ok {
+			fmt.Fprintf(os.Stderr, "%s: received second %v; exiting\n", tool, s)
+			os.Exit(130)
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(sig)
+		close(sig)
+		stopTimeout()
+		cancel(nil)
+	}
+}
+
+// CheckpointFlags is the flag block of the binaries that support
+// level-boundary checkpoint/resume (verc3-verify today).
+type CheckpointFlags struct {
+	Dir    string        // -checkpoint-dir
+	Resume bool          // -resume
+	Every  time.Duration // -checkpoint-every
+}
+
+// RegisterCheckpoint declares the checkpoint flags on the default FlagSet.
+func RegisterCheckpoint() *CheckpointFlags {
+	c := &CheckpointFlags{}
+	flag.StringVar(&c.Dir, "checkpoint-dir", "", "snapshot the run into this directory at BFS level boundaries (atomic commit; at most one checkpoint is kept). Requires BFS order, an exact visited backend, and -trace off")
+	flag.BoolVar(&c.Resume, "resume", false, "seed the run from the newest checkpoint under -checkpoint-dir instead of the initial states (fresh start when none exists)")
+	flag.DurationVar(&c.Every, "checkpoint-every", 0, "minimum spacing between checkpoint saves (0 = adaptive: at least 250ms and 20x the previous save's cost, bounding overhead near 5%; negative = save at every level boundary)")
+	return c
+}
+
+// Validate refuses -resume without a checkpoint directory to resume from.
+func (c *CheckpointFlags) Validate() error {
+	if c.Resume && c.Dir == "" {
+		return fmt.Errorf("flag -resume: requires -checkpoint-dir (nowhere to resume from)")
+	}
+	return nil
+}
+
+// ApplyMC fills the model-checker checkpoint options.
+func (c *CheckpointFlags) ApplyMC(opt *mc.Options) {
+	opt.CheckpointDir = c.Dir
+	opt.Resume = c.Resume
+	opt.CheckpointEvery = c.Every
 }
 
 // Backend parses the -visited flag.

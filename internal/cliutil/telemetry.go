@@ -30,7 +30,13 @@ type TelemetryOptions struct {
 type RunSummary struct {
 	Verdict string
 	Exact   bool
-	Space   statespace.Stats
+	// Aborted marks a run cut short (cancel, timeout, contained panic);
+	// AbortCause carries the rendered cause. Resumed marks a run seeded
+	// from a checkpoint. All three land in the version-2 report schema.
+	Aborted    bool
+	AbortCause string
+	Resumed    bool
+	Space      statespace.Stats
 }
 
 // Telemetry owns a binary's live-observability machinery: the shared
@@ -151,6 +157,9 @@ func (t *Telemetry) Finish(sum *RunSummary) error {
 	if sum != nil && t.report != nil {
 		t.report.Verdict = sum.Verdict
 		t.report.Exact = sum.Exact
+		t.report.Aborted = sum.Aborted
+		t.report.AbortCause = sum.AbortCause
+		t.report.Resumed = sum.Resumed
 		t.report.Space = sum.Space
 		t.report.Finish(t.col)
 		if err := t.report.Write(t.opt.ReportPath); err != nil && first == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -205,8 +206,20 @@ type Stats struct {
 	TotalVisitedStates int64
 	// Rounds is the number of prefix-expansion rounds (ModePrune).
 	Rounds int
-	// Truncated reports that MaxEvaluations stopped the run early.
+	// Truncated reports that MaxEvaluations stopped the run early
+	// (cancellation sets Aborted instead).
 	Truncated bool
+	// Panicked counts candidate dispatches stopped by a contained
+	// model-code panic. Each is recorded as a failed candidate — but never
+	// becomes a pruning pattern, since a panic is a defect of the model
+	// code rather than a property violation — and the search continues.
+	Panicked int64
+	// Aborted reports that the synthesis run was cancelled (SynthesizeCtx's
+	// context) before the search completed; AbortCause carries the rendered
+	// cancel cause. The returned Result holds the partial tallies, and
+	// every listed solution is still re-verified.
+	Aborted    bool
+	AbortCause string
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
 	// Space aggregates the exploration memory profiles of all model-checker
@@ -245,6 +258,7 @@ func (r *Result) Describe(i int) string {
 type engine struct {
 	sys      ts.System
 	cfg      Config // MCWorkers/Workers normalized to >= 1 by Synthesize
+	ctx      context.Context
 	reg      *registry
 	patterns *patternTable
 
@@ -254,7 +268,10 @@ type engine struct {
 	failures   atomic.Int64
 	unknowns   atomic.Int64
 	totalSeen  atomic.Int64
-	stop       atomic.Bool // MaxEvaluations reached
+	panicked   atomic.Int64
+	stop       atomic.Bool // MaxEvaluations reached, or the run cancelled
+	aborted    atomic.Bool
+	abortCause atomic.Pointer[string]
 	fatal      atomic.Pointer[errBox]
 	solMu      sync.Mutex
 	solutions  map[string]Solution
@@ -279,7 +296,27 @@ type errBox struct{ err error }
 // search, each surviving solution is re-checked once with RecordTrace on —
 // exercising the counterexample machinery and confirming the verdict with
 // full per-state bookkeeping — and marked Solution.Reverified on success.
+//
+// Synthesize is SynthesizeCtx with a background context: never cancelled,
+// no deadline.
 func Synthesize(sys ts.System, cfg Config) (*Result, error) {
+	return SynthesizeCtx(context.Background(), sys, cfg)
+}
+
+// SynthesizeCtx is Synthesize under a context: every model-checker
+// dispatch runs with ctx, so a deadline or cancel stops the search
+// cooperatively. A cancelled run is not an error — it returns the partial
+// Result with Stats.Aborted set and the cancel cause in Stats.AbortCause;
+// solutions found before the cancel are still re-verified (those whose
+// re-check the cancel also cut short are dropped, preserving the
+// every-returned-solution-is-reverified guarantee). A candidate whose
+// model code panics does not stop the search at all: the dispatch is
+// contained by the checker, tallied in Stats.Panicked, recorded as a
+// failed candidate, and enumeration continues.
+func SynthesizeCtx(ctx context.Context, sys ts.System, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -291,6 +328,9 @@ func Synthesize(sys ts.System, cfg Config) (*Result, error) {
 	}
 	if cfg.MC.Workers != 0 {
 		return nil, fmt.Errorf("core: Config.MC.Workers is managed by the engine; set Config.MCWorkers")
+	}
+	if cfg.MC.CheckpointDir != "" || cfg.MC.Resume {
+		return nil, fmt.Errorf("core: Config.MC must not set CheckpointDir or Resume; checkpointing is per-run, not per-dispatch")
 	}
 	if cfg.MC.Obs != nil {
 		return nil, fmt.Errorf("core: Config.MC.Obs is managed by the engine; set Config.Obs")
@@ -308,6 +348,7 @@ func Synthesize(sys ts.System, cfg Config) (*Result, error) {
 	e := &engine{
 		sys:       sys,
 		cfg:       cfg,
+		ctx:       ctx,
 		reg:       newRegistry(),
 		patterns:  newPatternTable(),
 		solutions: make(map[string]Solution),
@@ -357,7 +398,7 @@ func (e *engine) reverify() {
 		if !opt.Visited.Exact() {
 			opt.Visited = visited.Flat
 		}
-		res, err := mc.Check(e.sys, opt)
+		res, err := mc.CheckCtx(e.ctx, e.sys, opt)
 		if err != nil {
 			e.fatal.CompareAndSwap(nil, &errBox{err: err})
 			return
@@ -366,16 +407,46 @@ func (e *engine) reverify() {
 		if res.Verdict == mc.Success {
 			sol.Reverified = true
 			e.solutions[key] = sol
-		} else {
-			delete(e.solutions, key)
-			if e.observing() {
-				desc := formatAssign(sol.Assign, e.reg.holes())
-				e.emit(obs.Event{
-					Kind:     obs.EventSolutionDropped,
-					Solution: desc,
-					Text:     fmt.Sprintf("dropping solution %s: trace-on re-verification returned %v", desc, res.Verdict),
-				})
+			continue
+		}
+		// Anything other than Success drops the solution — including an
+		// aborted re-check: a cancelled one leaves the candidate unconfirmed
+		// (the returned-solutions-are-reverified guarantee wins over keeping
+		// it), and a panicking one just disproved its own model code.
+		if res.Verdict == mc.Aborted && res.Abort != nil {
+			if res.Abort.Panic {
+				e.panicked.Add(1)
+			} else {
+				e.noteAbort(res.Abort)
 			}
+		}
+		delete(e.solutions, key)
+		if e.observing() {
+			desc := formatAssign(sol.Assign, e.reg.holes())
+			e.emit(obs.Event{
+				Kind:     obs.EventSolutionDropped,
+				Solution: desc,
+				Text:     fmt.Sprintf("dropping solution %s: trace-on re-verification returned %v", desc, res.Verdict),
+			})
+		}
+	}
+}
+
+// noteAbort records the first cancellation (later ones — racing workers
+// observing the same cancel — are dropped) and emits the abort event.
+func (e *engine) noteAbort(ab *mc.AbortInfo) {
+	cause := context.Canceled.Error()
+	if ab != nil && ab.Cause != nil {
+		cause = ab.Cause.Error()
+	}
+	if e.aborted.CompareAndSwap(false, true) {
+		e.abortCause.Store(&cause)
+		if e.observing() {
+			e.emit(obs.Event{
+				Kind:  obs.EventAbort,
+				Cause: cause,
+				Text:  "synthesis aborted: " + cause,
+			})
 		}
 	}
 }
@@ -440,7 +511,7 @@ func (e *engine) dispatch(assign []int, mcWorkers int) {
 		opt.Usage = rc
 		opt.Workers = 1
 	}
-	res, err := mc.Check(e.sys, opt)
+	res, err := mc.CheckCtx(e.ctx, e.sys, opt)
 	if err != nil {
 		e.fatal.CompareAndSwap(nil, &errBox{err: err})
 		e.stop.Store(true)
@@ -471,6 +542,29 @@ func (e *engine) dispatch(assign []int, mcWorkers int) {
 		}
 	case mc.Unknown:
 		e.unknowns.Add(1)
+	case mc.Aborted:
+		if res.Abort != nil && res.Abort.Panic {
+			// A panicking candidate is a failed candidate, but never a
+			// pruning pattern: the panic is a defect of the model code, not
+			// a property violation, and generalizing it could prune sound
+			// candidates. The search continues.
+			e.panicked.Add(1)
+			e.failures.Add(1)
+			if e.observing() {
+				desc := formatAssign(assign, e.reg.holes())
+				e.emit(obs.Event{
+					Kind:     obs.EventCandidatePanic,
+					Solution: desc,
+					State:    res.Abort.StateKey,
+					Cause:    res.Abort.Cause.Error(),
+					Text:     fmt.Sprintf("candidate %s panicked at state %q: %v", desc, res.Abort.StateKey, res.Abort.Cause),
+				})
+			}
+		} else {
+			// Cancelled (deadline, signal): stop the whole search.
+			e.noteAbort(res.Abort)
+			e.stop.Store(true)
+		}
 	}
 	if e.cfg.Obs != nil {
 		e.cfg.Obs.SetGauge(obs.GHoles, uint64(e.reg.count()))
@@ -763,9 +857,14 @@ func (e *engine) result(rounds int, elapsed time.Duration) *Result {
 		Unknowns:           e.unknowns.Load(),
 		TotalVisitedStates: e.totalSeen.Load(),
 		Rounds:             rounds,
-		Truncated:          e.stop.Load() && e.fatal.Load() == nil && e.cfg.MaxEvaluations > 0,
+		Truncated:          e.stop.Load() && e.fatal.Load() == nil && !e.aborted.Load() && e.cfg.MaxEvaluations > 0,
+		Panicked:           e.panicked.Load(),
+		Aborted:            e.aborted.Load(),
 		Elapsed:            elapsed,
 		Space:              e.space,
+	}
+	if p := e.abortCause.Load(); p != nil {
+		r.Stats.AbortCause = *p
 	}
 	return r
 }

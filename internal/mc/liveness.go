@@ -65,6 +65,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -111,8 +112,14 @@ type lframe struct {
 type liveChecker struct {
 	sys ts.System
 	opt Options
+	ctx context.Context
 	lc  lifecycle
 	res *Result
+	// pollN counts expansions toward the next cooperative cancellation
+	// check; cur is the product frame's system state currently being
+	// expanded, for panic containment's state-key report.
+	pollN int
+	cur   ts.State
 
 	goal ts.LivenessGoal
 	fair []ts.Fairness // active requirements (nil when goal is not Fair)
@@ -141,7 +148,7 @@ type liveChecker struct {
 // updating res in place: the first violated goal flips the verdict to
 // Failure with a FailLiveness lasso. Called only after a safety pass that
 // did not fail; a no-op when the system reports no goals.
-func checkLiveness(sys ts.System, opt Options, res *Result) error {
+func checkLiveness(ctx context.Context, sys ts.System, opt Options, res *Result) error {
 	lr, ok := sys.(ts.LivenessReporter)
 	if !ok {
 		return nil
@@ -150,13 +157,18 @@ func checkLiveness(sys ts.System, opt Options, res *Result) error {
 	if len(goals) == 0 {
 		return nil
 	}
-	l := &liveChecker{sys: sys, opt: opt, lc: newLifecycle(sys, opt), res: res, ow: opt.Obs.NewWorker()}
+	l := &liveChecker{sys: sys, opt: opt, ctx: ctx, lc: newLifecycle(sys, opt), res: res, ow: opt.Obs.NewWorker()}
+	if ctx.Err() != nil {
+		// The deadline expired between the safety pass and this phase.
+		l.abort(cancelAbort(ctx))
+		return nil
+	}
 	for _, g := range goals {
-		failed, err := l.checkGoal(g)
+		failed, err := l.checkGoalSafe(g)
 		if err != nil {
 			return err
 		}
-		if failed {
+		if failed || res.Verdict == Aborted {
 			return nil
 		}
 	}
@@ -170,6 +182,45 @@ func checkLiveness(sys ts.System, opt Options, res *Result) error {
 		res.Verdict = Unknown
 	}
 	return nil
+}
+
+// abort marks the liveness phase cut short. It only runs on a non-failing
+// result (checkLiveness's precondition), so there is no failure to outrank.
+func (l *liveChecker) abort(info *AbortInfo) {
+	l.res.Abort = info
+	l.res.Verdict = Aborted
+}
+
+// pollCancel is the nested-DFS cancellation probe, sharing the safety
+// drivers' stride; it reports whether the search should stop, having
+// recorded the abort.
+func (l *liveChecker) pollCancel() bool {
+	if l.res.Verdict == Aborted {
+		return true
+	}
+	if l.pollN++; l.pollN < cancelPollStride {
+		return false
+	}
+	l.pollN = 0
+	if l.ctx.Err() != nil {
+		l.abort(cancelAbort(l.ctx))
+		return true
+	}
+	return false
+}
+
+// checkGoalSafe runs one goal's search with panic containment: a panic out
+// of the model (or a goal predicate) aborts the run with the offending
+// state's key instead of crashing; checkGoal's deferred cleanup — color
+// stores, space accounting — still runs during the unwind.
+func (l *liveChecker) checkGoalSafe(g ts.LivenessGoal) (failed bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			l.abort(panicAbort(p, l.cur))
+			failed, err = false, nil
+		}
+	}()
+	return l.checkGoal(g)
 }
 
 // checkGoal runs one goal's accepting-cycle search. It reports whether the
@@ -218,6 +269,9 @@ func (l *liveChecker) checkGoal(g ts.LivenessGoal) (failed bool, err error) {
 			} else if found {
 				l.failLasso(lasso)
 				return true, nil
+			}
+			if l.res.Verdict == Aborted {
+				return false, nil
 			}
 		}
 	}
@@ -348,6 +402,7 @@ func (l *liveChecker) product(s ts.State, rule string, q, c uint8) lframe {
 // states with no product successor (dead monitor branches) are recycled
 // immediately.
 func (l *liveChecker) expand(f *lframe) ([]lsucc, error) {
+	l.cur = f.state // panic containment reports this state's key
 	l.ow.Tick()
 	if l.lc.appender != nil {
 		l.trsBuf = l.lc.appender.AppendTransitions(l.trsBuf[:0], f.state)
@@ -445,6 +500,9 @@ func (l *liveChecker) dfsBlue(root lframe) (lasso, bool, error) {
 			l.capHit = true
 			return lasso{}, false, nil
 		}
+		if l.pollCancel() {
+			return lasso{}, false, nil
+		}
 		f := &l.stack[len(l.stack)-1]
 		if f.succs == nil && f.next == 0 {
 			succs, err := l.expand(f)
@@ -513,6 +571,9 @@ func (l *liveChecker) dfsRed(seed *lframe) (lasso, bool, error) {
 	// copy must never be recycled on pop.
 	l.rst = append(l.rst[:0], lframe{state: seed.state, fp: seed.fp, q: seed.q, c: seed.c, acc: seed.acc})
 	for len(l.rst) > 0 {
+		if l.pollCancel() {
+			return lasso{}, false, nil
+		}
 		f := &l.rst[len(l.rst)-1]
 		if f.succs == nil && f.next == 0 {
 			succs, err := l.expand(f)

@@ -82,12 +82,15 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 	"unsafe"
 
+	"verc3/internal/faultfs"
 	"verc3/internal/obs"
 	"verc3/internal/statespace"
 	"verc3/internal/symmetry"
@@ -108,6 +111,10 @@ const (
 	// aborted at a wildcard hole (or the state cap was hit), so success
 	// cannot be concluded.
 	Unknown
+	// Aborted: the run was cut short — cancelled, timed out, or stopped by
+	// a contained model-code panic — before the space was fully explored.
+	// Result.Abort carries the cause and Result.Stats the partial counts.
+	Aborted
 )
 
 // String returns the verdict name.
@@ -119,6 +126,8 @@ func (v Verdict) String() string {
 		return "failure"
 	case Unknown:
 		return "unknown"
+	case Aborted:
+		return "aborted"
 	default:
 		return fmt.Sprintf("Verdict(%d)", int(v))
 	}
@@ -210,6 +219,16 @@ type Result struct {
 	WildcardHit bool
 	// CapHit reports that the MaxStates cap stopped exploration.
 	CapHit bool
+	// Abort is non-nil iff Verdict == Aborted: the run was cancelled, timed
+	// out, or recovered a model-code panic, and Stats/Space hold the
+	// partial counts accumulated up to the abort point. A recorded failure
+	// outranks an abort (a violation found before the cancel fired is still
+	// a violation); an abort outranks the wildcard/cap downgrades.
+	Abort *AbortInfo
+	// Resumed reports that the run was seeded from a committed checkpoint
+	// (Options.Resume) rather than the system's initial states; its Stats
+	// include the checkpointed prefix.
+	Resumed bool
 	// Exact reports that the visited-set backend was lossless (flat, map):
 	// every distinct fingerprint offered was admitted, so state counts are
 	// exact and a Success verdict covers the full reachable space. False
@@ -308,6 +327,32 @@ type Options struct {
 	// ("" = the OS temp dir); a per-run subdirectory is created lazily and
 	// removed when the run finishes. Ignored by other backends.
 	SpillDir string
+	// CheckpointDir enables level-boundary checkpointing: at every BFS
+	// level boundary the visited fingerprints, the frontier states and the
+	// run statistics are snapshotted into a versioned subdirectory of this
+	// directory, committed atomically by rename (see checkpoint.go). "" —
+	// the default — disables checkpointing. Requires a system whose states
+	// implement ts.KeyAppender and that itself implements ts.KeyDecoder,
+	// BFS order, an exact visited backend, and RecordTrace/Usage off.
+	CheckpointDir string
+	// CheckpointEvery throttles how often level boundaries actually save.
+	// Zero — the default — is the adaptive policy: a boundary saves only
+	// when at least max(250ms, 20× the previous save's cost) has elapsed
+	// since the last save, which bounds checkpoint overhead at roughly 5%
+	// of wall-clock regardless of model size (E18). A positive duration
+	// replaces the 250ms floor with a fixed minimum spacing (the 20× cost
+	// rule still applies); a negative value saves at every level boundary
+	// — the crash-harness setting, not a production one.
+	CheckpointEvery time.Duration
+	// Resume seeds the run from the newest committed checkpoint under
+	// CheckpointDir instead of the system's initial states (a fresh start
+	// when none exists). A resumed run reproduces the uninterrupted run's
+	// verdict and state/transition/depth counts bit-identically.
+	Resume bool
+	// FS is the filesystem seam under the spill backend and the checkpoint
+	// writer (nil = the real OS). Fault-injection tests plug a
+	// faultfs.Injector in here; production code leaves it nil.
+	FS faultfs.FS
 	// MemStats additionally collects allocation counters
 	// (runtime.ReadMemStats deltas) into Result.Space. ReadMemStats stops
 	// the world, so leave this off in the synthesis inner loop; the cmd/
@@ -379,12 +424,22 @@ type item struct {
 type checker struct {
 	sys   ts.System
 	opt   Options
+	ctx   context.Context
 	canon *symmetry.Canonicalizer
 	key   keyer
 	invs  []ts.Invariant
 	goals []ts.ReachGoal
 	quies ts.QuiescentReporter
 	lc    lifecycle
+	ckpt  *checkpointer
+	// pollN counts expansions toward the next cooperative cancellation
+	// check; cur is the state currently being expanded, so a recovered
+	// panic can report which state blew up.
+	pollN int
+	cur   ts.State
+	// resumePeak carries a resumed run's checkpointed frontier high-water
+	// mark, merged with the live queue's own peak at the end.
+	resumePeak int
 	// trsBuf is the transition scratch: on the ts.TransitionAppender path it
 	// is truncated and refilled per expansion, so steady-state enumeration
 	// allocates nothing.
@@ -468,17 +523,31 @@ func (c *checker) enumerate(s ts.State) []ts.Transition {
 	return c.sys.Transitions(s)
 }
 
-// Check explores the reachable state space of sys under opt.
+// Check explores the reachable state space of sys under opt. It is
+// CheckCtx with a background context: never cancelled, no deadline.
 //
 // The error return is reserved for malformed models (no initial states,
-// transition errors other than ts.ErrWildcard); property violations are
+// transition errors other than ts.ErrWildcard) and I/O failures of the
+// spill and checkpoint layers; property violations — and aborts — are
 // reported in the Result, not as errors.
 func Check(sys ts.System, opt Options) (*Result, error) {
+	return CheckCtx(context.Background(), sys, opt)
+}
+
+// CheckCtx explores the reachable state space of sys under opt, stopping
+// cooperatively when ctx is cancelled or its deadline passes. A cancelled
+// run is not an error: it returns Verdict == Aborted with a non-nil
+// Result.Abort carrying the cancel cause (context.Cause) and whatever
+// partial statistics the exploration accumulated.
+func CheckCtx(ctx context.Context, sys ts.System, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var before runtime.MemStats
 	if opt.MemStats {
 		runtime.ReadMemStats(&before)
 	}
-	res, err := check(sys, opt)
+	res, err := check(ctx, sys, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -493,32 +562,34 @@ func Check(sys ts.System, opt Options) (*Result, error) {
 
 // check dispatches to the selected exploration driver, then — under
 // Options.Liveness — runs the nested-DFS liveness phase on the safety
-// pass's non-failing result.
-func check(sys ts.System, opt Options) (*Result, error) {
+// pass's non-failing result. An aborted safety pass skips the liveness
+// phase: its product search is rooted in the same (now incomplete) space.
+func check(ctx context.Context, sys ts.System, opt Options) (*Result, error) {
 	if opt.Liveness && !opt.Visited.Exact() {
 		return nil, fmt.Errorf("mc: visited backend %q is lossy; %w", opt.Visited, ErrLivenessInexact)
 	}
 	var res *Result
 	var err error
 	if useParallel(opt) {
-		res, err = checkParallel(sys, opt)
+		res, err = checkParallel(ctx, sys, opt)
 	} else {
-		res, err = checkSequential(sys, opt)
+		res, err = checkSequential(ctx, sys, opt)
 	}
-	if err != nil || !opt.Liveness || res.Verdict == Failure {
+	if err != nil || !opt.Liveness || res.Verdict == Failure || res.Verdict == Aborted {
 		return res, err
 	}
-	if lerr := checkLiveness(sys, opt, res); lerr != nil {
+	if lerr := checkLiveness(ctx, sys, opt, res); lerr != nil {
 		return nil, lerr
 	}
 	return res, nil
 }
 
 // checkSequential runs the deterministic sequential driver.
-func checkSequential(sys ts.System, opt Options) (*Result, error) {
+func checkSequential(ctx context.Context, sys ts.System, opt Options) (*Result, error) {
 	c := &checker{
 		sys:     sys,
 		opt:     opt,
+		ctx:     ctx,
 		lc:      newLifecycle(sys, opt),
 		labels:  newPhaseLabels(opt),
 		visited: visited.New(visitedConfig(opt)),
@@ -534,13 +605,18 @@ func checkSequential(sys ts.System, opt Options) (*Result, error) {
 	}
 	c.canon = newCanon(sys, opt)
 	c.key = newKeyer(c.canon, opt)
+	var err error
+	if c.ckpt, err = newCheckpointer(sys, opt, c.visited); err != nil {
+		closeStore(c.visited)
+		return nil, err
+	}
 	c.obsStart()
-	err := c.run()
+	err = c.runSafe()
 	c.labels.clear()
 	c.obsFinish(c.res.Stats.MaxDepth)
 	if err == nil {
 		c.res.Space.Transitions = c.res.Stats.FiredTransitions
-		c.res.Space.PeakFrontier = c.frontier.Peak()
+		c.res.Space.PeakFrontier = max(c.frontier.Peak(), c.resumePeak)
 		c.res.Space.TraceNodes = c.traces.Nodes()
 		c.lc.finishPool(&c.res.Space, c.recycled)
 		fillSpace(&c.res, c.visited, unsafe.Sizeof(item{}), c.traces.NodeBytes())
@@ -554,7 +630,55 @@ func checkSequential(sys ts.System, opt Options) (*Result, error) {
 	return &c.res, nil
 }
 
-// visitedConfig maps checker options onto the storage layer's config.
+// runSafe is run with panic containment: a panic out of model code is
+// converted into an Aborted verdict carrying the offending state's key
+// and the panicking stack, instead of crashing the process.
+func (c *checker) runSafe() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.abort(panicAbort(p, c.cur))
+			err = nil
+		}
+	}()
+	return c.run()
+}
+
+// abort records why the run was cut short and settles the verdict: a
+// failure found before the abort still wins; otherwise the verdict is
+// Aborted with the partial statistics visible so far.
+func (c *checker) abort(info *AbortInfo) {
+	if c.res.Verdict == Failure {
+		return
+	}
+	c.res.Abort = info
+	c.res.Verdict = Aborted
+	c.res.Stats.VisitedStates = c.visited.Len()
+}
+
+// pollCancel is the sequential driver's cooperative cancellation probe:
+// cheap enough for the expansion loop (one counter increment amortizing a
+// ctx.Err() load), unconditional at level boundaries (force). It reports
+// whether the run should stop, having recorded the abort.
+func (c *checker) pollCancel(force bool) bool {
+	if c.res.Abort != nil {
+		return true
+	}
+	if !force {
+		if c.pollN++; c.pollN < cancelPollStride {
+			return false
+		}
+		c.pollN = 0
+	}
+	if c.ctx.Err() != nil {
+		c.abort(cancelAbort(c.ctx))
+		return true
+	}
+	return false
+}
+
+// visitedConfig maps checker options onto the storage layer's config,
+// threading the fault-injection seam and the retry telemetry hook through
+// to the spill backend.
 func visitedConfig(opt Options) visited.Config {
 	return visited.Config{
 		Kind:       opt.Visited,
@@ -562,6 +686,8 @@ func visitedConfig(opt Options) visited.Config {
 		BitstateMB: opt.BitstateMB,
 		SpillMem:   opt.SpillMem,
 		SpillDir:   opt.SpillDir,
+		FS:         opt.FS,
+		OnRetry:    ioRetryHook(opt.Obs),
 	}
 }
 
@@ -737,20 +863,34 @@ func (c *checker) fail(kind FailKind, name string, n *statespace.TraceNode[ts.St
 }
 
 func (c *checker) run() error {
-	inits := c.sys.Initial()
-	if len(inits) == 0 {
-		return fmt.Errorf("mc: system %q has no initial states", c.sys.Name())
+	lastDepth := 0
+	resumed, err := c.resumeSeq()
+	if err != nil {
+		return err
 	}
-	for _, s := range inits {
-		if it, fresh := c.enqueue(s, nil, "", 0, 0, nil); fresh {
-			if c.checkState(it) {
-				return nil
+	if resumed {
+		c.res.Resumed = true
+		lastDepth = c.resumeDepth()
+	} else {
+		inits := c.sys.Initial()
+		if len(inits) == 0 {
+			return fmt.Errorf("mc: system %q has no initial states", c.sys.Name())
+		}
+		for _, s := range inits {
+			if it, fresh := c.enqueue(s, nil, "", 0, 0, nil); fresh {
+				if c.checkState(it) {
+					return nil
+				}
+				c.frontier.PushBack(it)
 			}
-			c.frontier.PushBack(it)
 		}
 	}
 
-	lastDepth := 0
+	// An already-expired context (a deadline shorter than setup, a
+	// pre-cancelled run) aborts before any expansion, regardless of stride.
+	if c.pollCancel(true) {
+		return nil
+	}
 	for c.frontier.Len() > 0 {
 		var it item
 		if c.opt.Order == DFS {
@@ -759,13 +899,26 @@ func (c *checker) run() error {
 			it, _ = c.frontier.PopFront()
 			// BFS pops in depth order, so a depth increase is a level
 			// boundary; level-aware backends reorganize here (DFS has no
-			// levels and relies on the backend's own housekeeping).
+			// levels and relies on the backend's own housekeeping). The
+			// checkpointer snapshots here too — the popped item is the
+			// new level's first state and rejoins the saved frontier —
+			// and cancellation is always checked, so a deadline cannot
+			// slip past a whole level.
 			if it.depth > lastDepth {
 				lastDepth = it.depth
 				if err := c.endLevelObs(lastDepth); err != nil {
 					return err
 				}
+				if err := c.checkpointSeq(it); err != nil {
+					return err
+				}
+				if c.pollCancel(true) {
+					return nil
+				}
 			}
+		}
+		if c.pollCancel(false) {
+			return nil
 		}
 		if c.opt.MaxStates > 0 && c.admitted > c.opt.MaxStates {
 			c.res.CapHit = true
@@ -776,7 +929,7 @@ func (c *checker) run() error {
 		}
 	}
 
-	if c.res.Verdict == Failure {
+	if c.res.Verdict == Failure || c.res.Verdict == Aborted {
 		return nil
 	}
 	c.res.Stats.VisitedStates = c.visited.Len()
@@ -800,6 +953,7 @@ func (c *checker) run() error {
 // expand fires all transitions of frontier entry it. It reports done=true
 // when a violation stops the search.
 func (c *checker) expand(it item) (done bool, err error) {
+	c.cur = it.state            // panic containment reports this state's key
 	sw := c.ow.BeginExpansion() // nil on unsampled expansions; Stopwatch is nil-safe
 	defer sw.Done()
 	c.labels.enumerate()

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,6 +40,8 @@ type pitem struct {
 type pchecker struct {
 	sys   ts.System
 	opt   Options
+	ctx   context.Context
+	ckpt  *checkpointer
 	canon *symmetry.Canonicalizer
 	// workers is the per-worker scratch, indexed by the ExpandLevel worker
 	// index — each worker owns its encoding and transition buffers
@@ -70,9 +73,26 @@ type pchecker struct {
 	// emitted-next-level coexistence reached during a level expansion
 	// (updated between levels, when both are fully known).
 	peak int
+	// resumed reports that the run was seeded from a checkpoint.
+	resumed bool
+	// initCur is the initial state being admitted on the main goroutine, so
+	// a panic during initial-state processing can report its key (worker
+	// panics carry their own state via expand's recover).
+	initCur ts.State
+
+	// abort is the first abort to win (cancellation or a recovered worker
+	// panic); later aborts — racing workers observing the same cancel, a
+	// second panicking worker — are dropped, mirroring the failure rule.
+	abort atomic.Pointer[AbortInfo]
 
 	failMu  sync.Mutex
 	failure *FailureInfo
+}
+
+// setAbort records the first abort; the CAS makes racing workers converge
+// on one consistent cause.
+func (c *pchecker) setAbort(info *AbortInfo) {
+	c.abort.CompareAndSwap(nil, info)
 }
 
 // pworker is one ExpandLevel worker's private scratch: the fingerprinting
@@ -90,18 +110,22 @@ type pworker struct {
 	key      keyer
 	trs      []ts.Transition
 	recycled uint64
+	// poll counts this worker's expansions toward its next cooperative
+	// cancellation check (see cancelPollStride).
+	poll int
 	// ow stages this worker's telemetry counters (nil when Options.Obs is
 	// unset). Each worker gets its own obs slot via NewWorker, so the
 	// batched flushes land on distinct cache lines too.
 	ow *obs.Worker
-	_  [48]byte
+	_  [40]byte
 }
 
 // checkParallel explores sys with the parallel driver (see Options.Workers).
-func checkParallel(sys ts.System, opt Options) (*Result, error) {
+func checkParallel(ctx context.Context, sys ts.System, opt Options) (*Result, error) {
 	c := &pchecker{
 		sys:     sys,
 		opt:     opt,
+		ctx:     ctx,
 		canon:   newCanon(sys, opt),
 		lc:      newLifecycle(sys, opt),
 		labels:  newPhaseLabels(opt),
@@ -121,8 +145,13 @@ func checkParallel(sys ts.System, opt Options) (*Result, error) {
 		c.workers[i].key = newKeyer(c.canon, opt)
 		c.workers[i].ow = opt.Obs.NewWorker()
 	}
+	var err error
+	if c.ckpt, err = newCheckpointer(sys, opt, c.visited); err != nil {
+		closeStore(c.visited)
+		return nil, err
+	}
 	opt.Obs.SetGauge(obs.GMaxStates, uint64(opt.MaxStates))
-	res, err := c.run()
+	res, err := c.runSafe()
 	c.labels.clear()
 	if cerr := closeStore(c.visited); err == nil {
 		err = cerr
@@ -213,11 +242,28 @@ func (c *pchecker) fail(kind FailKind, name string, n *statespace.TraceNode[ts.S
 // workers; w is the ExpandLevel worker index selecting this worker's
 // keyer scratch.
 func (c *pchecker) expand(w int, it pitem, emit func(pitem)) (stop bool, err error) {
+	// Panic containment happens here, per worker goroutine: a panic out of
+	// model code (Transitions, Fire, an invariant, Key) cannot cross
+	// ExpandLevel's goroutine boundary, so it must be converted to an abort
+	// before it unwinds past this frame. The stop flag drains the level.
+	defer func() {
+		if p := recover(); p != nil {
+			c.setAbort(panicAbort(p, it.state))
+			stop, err = true, nil
+		}
+	}()
+	pw := &c.workers[w]
+	if pw.poll++; pw.poll >= cancelPollStride {
+		pw.poll = 0
+		if c.ctx.Err() != nil {
+			c.setAbort(cancelAbort(c.ctx))
+			return true, nil
+		}
+	}
 	if c.opt.MaxStates > 0 && c.admitted.Load() > int64(c.opt.MaxStates) {
 		c.capHit.Store(true)
 		return true, nil
 	}
-	pw := &c.workers[w]
 	sw := pw.ow.BeginExpansion() // nil on unsampled expansions; Stopwatch is nil-safe
 	defer sw.Done()
 	c.labels.enumerate()
@@ -281,27 +327,56 @@ func (c *pchecker) expand(w int, it pitem, emit func(pitem)) (stop bool, err err
 	return false, nil
 }
 
+// runSafe wraps run with panic containment for the main goroutine: worker
+// panics are recovered inside expand, but initial-state admission (and any
+// driver code between levels) runs here, outside any worker.
+func (c *pchecker) runSafe() (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.setAbort(panicAbort(p, c.initCur))
+			res, err = c.finish(), nil
+		}
+	}()
+	return c.run()
+}
+
 func (c *pchecker) run() (*Result, error) {
-	inits := c.sys.Initial()
-	if len(inits) == 0 {
-		return nil, fmt.Errorf("mc: system %q has no initial states", c.sys.Name())
-	}
 	var frontier []pitem
 	stopped := false
-	for _, s := range inits {
-		if !c.tryAdmit(0, s, nil) {
-			continue
+	if _, items, err := c.resumePar(); err != nil {
+		return nil, err
+	} else if items != nil {
+		c.resumed = true
+		frontier = items
+		c.peak = max(c.peak, len(frontier))
+	} else {
+		inits := c.sys.Initial()
+		if len(inits) == 0 {
+			return nil, fmt.Errorf("mc: system %q has no initial states", c.sys.Name())
 		}
-		it := pitem{state: s, node: c.traces.Add(s, "", nil)}
-		if c.checkState(it) {
-			stopped = true
-			break
+		for _, s := range inits {
+			c.initCur = s
+			if !c.tryAdmit(0, s, nil) {
+				continue
+			}
+			it := pitem{state: s, node: c.traces.Add(s, "", nil)}
+			if c.checkState(it) {
+				stopped = true
+				break
+			}
+			frontier = append(frontier, it)
 		}
-		frontier = append(frontier, it)
+		c.initCur = nil
+		c.peak = len(frontier)
 	}
 
-	c.peak = len(frontier)
 	for !stopped && len(frontier) > 0 {
+		// An already-expired context aborts before the next level, however
+		// small the levels are (the per-worker stride poll handles big ones).
+		if c.ctx.Err() != nil {
+			c.setAbort(cancelAbort(c.ctx))
+			break
+		}
 		next, stop, err := statespace.ExpandLevel(c.opt.Workers, frontier, c.expand)
 		if err != nil {
 			return nil, err
@@ -317,9 +392,15 @@ func (c *pchecker) run() (*Result, error) {
 			break
 		}
 		// Level boundary: level-aware backends reorganize (spill merges
-		// its run files) while no worker is inserting.
+		// its run files) while no worker is inserting, and the checkpointer
+		// snapshots the completed level.
 		if err := c.endLevelObs(len(next)); err != nil {
 			return nil, err
+		}
+		if len(next) > 0 {
+			if err := c.checkpointPar(next[0].depth, next); err != nil {
+				return nil, err
+			}
 		}
 		frontier = next
 	}
@@ -341,6 +422,7 @@ func (c *pchecker) finish() *Result {
 		},
 		WildcardHit: c.wildcard.Load(),
 		CapHit:      c.capHit.Load(),
+		Resumed:     c.resumed,
 	}
 	res.Space.Transitions = int(c.fired.Load())
 	res.Space.PeakFrontier = c.peak
@@ -354,6 +436,13 @@ func (c *pchecker) finish() *Result {
 	if c.failure != nil {
 		res.Verdict = Failure
 		res.Failure = c.failure
+		return res
+	}
+	// A recorded failure outranks an abort (same rule as the sequential
+	// driver); an abort outranks the wildcard/cap downgrades.
+	if ab := c.abort.Load(); ab != nil {
+		res.Verdict = Aborted
+		res.Abort = ab
 		return res
 	}
 	if res.WildcardHit || res.CapHit {

@@ -240,6 +240,19 @@ func (sys *System) Name() string {
 // DirID returns the directory's agent index (== number of caches).
 func (sys *System) DirID() int { return sys.dirID }
 
+// DecodeKey implements ts.KeyDecoder: the inverse of State.AppendKey,
+// consuming one state from the front of data and returning the remainder.
+// It validates the cache count against the system's configuration, so a
+// checkpoint taken from a differently-sized instance is rejected instead
+// of silently misparsed.
+func (sys *System) DecodeKey(data []byte) (ts.State, []byte, error) {
+	s, rest, err := decodeState(data, sys.cfg.Caches)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rest, nil
+}
+
 // Initial implements ts.System: all caches Invalid, directory Invalid,
 // memory and ghost 0, empty network.
 func (sys *System) Initial() []ts.State {

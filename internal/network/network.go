@@ -52,6 +52,59 @@ func (m Msg) AppendKey(dst []byte) []byte {
 	return dst
 }
 
+// DecodeMsg decodes one message from the front of data — the inverse of
+// AppendKey — returning the unconsumed remainder. Malformed input yields
+// an error, never a panic: checkpoint files cross a process boundary.
+func DecodeMsg(data []byte) (Msg, []byte, error) {
+	var m Msg
+	tl, n := binary.Uvarint(data)
+	if n <= 0 || tl > uint64(len(data)-n) {
+		return m, nil, fmt.Errorf("network: truncated message type")
+	}
+	data = data[n:]
+	m.Type = string(data[:tl])
+	data = data[tl:]
+	for _, dst := range []*int{&m.Src, &m.Dst, &m.Req, &m.Cnt, &m.Val} {
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			return m, nil, fmt.Errorf("network: truncated message field")
+		}
+		*dst = int(v)
+		data = data[n:]
+	}
+	return m, data, nil
+}
+
+// DecodeNet decodes a network from the front of data — the inverse of
+// Net.AppendKey — returning the unconsumed remainder. The decoded Net
+// owns its storage. The message order is taken as-is (AppendKey emits
+// canonical order, so a round-trip is bit-identical); out-of-order input
+// is re-canonicalized rather than rejected.
+func DecodeNet(data []byte) (Net, []byte, error) {
+	cnt, n := binary.Uvarint(data)
+	if n <= 0 || cnt > uint64(len(data)-n) { // each message is ≥ 6 bytes; len bound is a cheap sanity cap
+		return Net{}, nil, fmt.Errorf("network: truncated message count")
+	}
+	data = data[n:]
+	msgs := make([]Msg, 0, cnt)
+	sorted := true
+	for i := uint64(0); i < cnt; i++ {
+		m, rest, err := DecodeMsg(data)
+		if err != nil {
+			return Net{}, nil, err
+		}
+		if len(msgs) > 0 && less(m, msgs[len(msgs)-1]) {
+			sorted = false
+		}
+		msgs = append(msgs, m)
+		data = rest
+	}
+	if !sorted {
+		sort.Slice(msgs, func(i, j int) bool { return less(msgs[i], msgs[j]) })
+	}
+	return Net{msgs: msgs}, data, nil
+}
+
 // String renders the message for traces.
 func (m Msg) String() string {
 	s := fmt.Sprintf("%s(%d→%d", m.Type, m.Src, m.Dst)

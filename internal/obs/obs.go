@@ -535,6 +535,22 @@ const (
 	// EventSolutionDropped records a solution rejected by trace-on
 	// re-verification.
 	EventSolutionDropped EventKind = "solution-dropped"
+	// EventAbort records a run cut short: cancellation, deadline, or a
+	// contained model-code panic. Cause carries the cancel cause or panic
+	// value; State the offending state's rendered key for panics.
+	EventAbort EventKind = "abort"
+	// EventCandidatePanic records a synthesis candidate whose evaluation
+	// panicked; the candidate is recorded as failed and the search
+	// continues.
+	EventCandidatePanic EventKind = "candidate-panic"
+	// EventCheckpoint marks a committed level-boundary checkpoint (Depth
+	// and States describe the snapshot).
+	EventCheckpoint EventKind = "checkpoint"
+	// EventResume marks a run seeded from a committed checkpoint.
+	EventResume EventKind = "resume"
+	// EventIORetry records one retried transient I/O failure in the spill
+	// or checkpoint writers (Op names the operation, Round the attempt).
+	EventIORetry EventKind = "io-retry"
 )
 
 // Event is one structured progress event. Numeric fields are populated
@@ -550,5 +566,13 @@ type Event struct {
 	Candidates uint64    `json:"candidates,omitempty"`
 	Solution   string    `json:"solution,omitempty"`
 	States     int       `json:"states,omitempty"`
-	Text       string    `json:"text"`
+	// Cause carries an abort's cancel cause or panic value; State the
+	// offending state's rendered key (abort/candidate-panic); Depth the
+	// checkpointed level (checkpoint/resume); Op the retried filesystem
+	// operation (io-retry).
+	Cause string `json:"cause,omitempty"`
+	State string `json:"state,omitempty"`
+	Depth int    `json:"depth,omitempty"`
+	Op    string `json:"op,omitempty"`
+	Text  string `json:"text"`
 }

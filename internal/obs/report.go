@@ -11,10 +11,16 @@ import (
 )
 
 // ReportVersion is the run-report schema version. Bump it on any change a
-// reader could misparse; Validate rejects mismatches so downstream
-// tooling (EXPERIMENTS.md regeneration, the CI artifact check, the future
-// verc3d job store) fails loudly instead of reading garbage.
-const ReportVersion = 1
+// reader could misparse; Validate rejects versions it does not know so
+// downstream tooling (EXPERIMENTS.md regeneration, the CI artifact check,
+// the future verc3d job store) fails loudly instead of reading garbage.
+// Version 2 added the abort/resume fields (Aborted, AbortCause, Resumed)
+// and the failure-model event kinds; version-1 reports — which simply
+// lack them — are still accepted by Validate.
+const ReportVersion = 2
+
+// minReportVersion is the oldest schema Validate still accepts.
+const minReportVersion = 1
 
 // Report is the machine-readable end-of-run record written by the CLIs'
 // -report flag: environment, effective options, verdict, the full
@@ -36,6 +42,14 @@ type Report struct {
 	Options map[string]string `json:"options,omitempty"`
 	Verdict string            `json:"verdict"`
 	Exact   bool              `json:"exact"`
+	// Aborted reports that the run was cut short — cancelled, timed out,
+	// or stopped by a contained panic — and its stats are a partial view.
+	// AbortCause carries the rendered cancel cause or panic value.
+	Aborted    bool   `json:"aborted,omitempty"`
+	AbortCause string `json:"abort_cause,omitempty"`
+	// Resumed reports that the run was seeded from a committed checkpoint
+	// rather than the system's initial states.
+	Resumed bool `json:"resumed,omitempty"`
 	// Space is the run's full memory/exploration profile — for synthesis
 	// runs, the engine's cross-dispatch aggregate.
 	Space    statespace.Stats             `json:"space"`
@@ -107,14 +121,20 @@ func ReadReport(path string) (*Report, error) {
 // dominates the last timeline entry, known phase names, and internally
 // consistent histograms (count equals the bucket sum).
 func (r *Report) Validate() error {
-	if r.Version != ReportVersion {
-		return fmt.Errorf("report version %d, want %d", r.Version, ReportVersion)
+	if r.Version < minReportVersion || r.Version > ReportVersion {
+		return fmt.Errorf("report version %d, want %d..%d", r.Version, minReportVersion, ReportVersion)
 	}
 	if r.Tool == "" {
 		return fmt.Errorf("report has no tool")
 	}
 	if r.Verdict == "" {
 		return fmt.Errorf("report has no verdict")
+	}
+	if r.AbortCause != "" && !r.Aborted {
+		return fmt.Errorf("report has abort_cause %q without aborted", r.AbortCause)
+	}
+	if r.Aborted && r.Verdict == "success" {
+		return fmt.Errorf("report is aborted yet claims verdict %q", r.Verdict)
 	}
 	if r.ElapsedNS < 0 {
 		return fmt.Errorf("negative elapsed_ns %d", r.ElapsedNS)

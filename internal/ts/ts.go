@@ -104,6 +104,25 @@ type KeyAppender interface {
 	AppendKey(dst []byte) []byte
 }
 
+// KeyDecoder is optionally implemented by systems whose AppendKey
+// encodings can be decoded back into states. It is the inverse the
+// checkpoint/resume machinery needs: a BFS frontier is persisted as the
+// concatenation of its states' AppendKey encodings, and DecodeKey
+// rebuilds the states on resume. Because AppendKey encodings are
+// self-delimiting, DecodeKey consumes exactly one state from the front of
+// data and returns the remainder.
+//
+// The round-trip contract: for every reachable state s,
+// DecodeKey(s.AppendKey(nil)) yields a state whose AppendKey re-encodes
+// to the identical bytes (and whose Key equals s.Key). Malformed input
+// must return an error — never panic — since checkpoint files cross a
+// process boundary.
+type KeyDecoder interface {
+	// DecodeKey decodes one state from the front of data and returns the
+	// state and the unconsumed remainder.
+	DecodeKey(data []byte) (State, []byte, error)
+}
+
 // Permutable is implemented by states containing scalarset-like symmetric
 // agent identifiers (e.g. cache IDs). Permute returns a copy of the state
 // with every agent index i renamed to perm[i]. The model checker uses this

@@ -148,6 +148,26 @@ func (t *flatTable) drain(dst []uint64) []uint64 {
 	return dst
 }
 
+// each calls yield on every stored fingerprint (sideband zero included)
+// without disturbing the table — drain's non-destructive sibling, used by
+// the checkpoint writer to snapshot a live visited set. A non-nil error
+// from yield stops the walk and is returned.
+func (t *flatTable) each(yield func(fp uint64) error) error {
+	if t.hasZero {
+		if err := yield(0); err != nil {
+			return err
+		}
+	}
+	for _, fp := range t.slots {
+		if fp != 0 {
+			if err := yield(fp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func (t *flatTable) len() int {
 	n := t.used
 	if t.hasZero {
@@ -175,6 +195,12 @@ func (f *flat) Exact() bool  { return true }
 
 func (f *flat) Stats() Stats {
 	return Stats{Backend: Flat.String(), States: f.Len(), Bytes: f.Bytes(), Exact: true, Grows: f.t.grows}
+}
+
+// DumpFingerprints implements Dumper: the single-goroutine table is walked
+// in place.
+func (f *flat) DumpFingerprints(yield func(fp statespace.Fingerprint) error) error {
+	return f.t.each(func(fp uint64) error { return yield(statespace.Fingerprint(fp)) })
 }
 
 // stripe is one lock-striped sub-table of the concurrent Flat variant,
@@ -252,6 +278,22 @@ func (s *stripedFlat) Stats() Stats {
 		sp.mu.Unlock()
 	}
 	return st
+}
+
+// DumpFingerprints implements Dumper: each stripe is walked under its own
+// lock. The snapshot is stripe-consistent, which suffices at the quiescent
+// points (level boundaries) where checkpoints are taken.
+func (s *stripedFlat) DumpFingerprints(yield func(fp statespace.Fingerprint) error) error {
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		err := sp.t.each(func(fp uint64) error { return yield(statespace.Fingerprint(fp)) })
+		sp.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stripes reports the stripe count (a power of two).

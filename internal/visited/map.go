@@ -33,6 +33,17 @@ func (s *mapStore) Stats() Stats {
 	return Stats{Backend: Map.String(), States: s.Len(), Bytes: s.Bytes(), Exact: true}
 }
 
+// DumpFingerprints implements Dumper. Iteration order is the map's
+// (arbitrary); checkpoint readers re-insert, so order never matters.
+func (s *mapStore) DumpFingerprints(yield func(fp statespace.Fingerprint) error) error {
+	for fp := range s.m {
+		if err := yield(fp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // mapBytes models the footprint of a Go map[Fingerprint]struct{} with n
 // entries. Go offers no way to measure a map's memory, so this is the
 // documented geometry of the runtime's swiss-table maps (Go 1.24+): groups
@@ -121,6 +132,26 @@ func (s *shardedMap) Exact() bool { return true }
 
 func (s *shardedMap) Stats() Stats {
 	return Stats{Backend: Map.String(), States: s.Len(), Bytes: s.Bytes(), Exact: true}
+}
+
+// DumpFingerprints implements Dumper: each shard is walked under its own
+// lock, shard-consistent like the striped Flat variant.
+func (s *shardedMap) DumpFingerprints(yield func(fp statespace.Fingerprint) error) error {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		var err error
+		for fp := range sh.m {
+			if err = yield(fp); err != nil {
+				break
+			}
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Shards reports the shard count (a power of two).

@@ -3,7 +3,6 @@ package visited
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
 	"path/filepath"
 	"slices"
 	"sort"
@@ -11,6 +10,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"verc3/internal/faultfs"
 	"verc3/internal/statespace"
 )
 
@@ -49,7 +49,7 @@ var spillBlockPool = sync.Pool{
 // disk read. Once written a run is only ever read (ReadAt is safe for
 // concurrent probes) until a merge retires it.
 type spillRun struct {
-	f      *os.File
+	f      faultfs.File
 	name   string
 	n      int64
 	fences []uint64
@@ -83,7 +83,8 @@ func (r *spillRun) bytes() int64 { return r.n * 8 }
 // runWriter streams an ascending fingerprint sequence into a new run file,
 // building the fence index as it goes.
 type runWriter struct {
-	f      *os.File
+	s      *spill
+	f      faultfs.File
 	name   string
 	buf    []byte
 	n      int64
@@ -92,7 +93,12 @@ type runWriter struct {
 
 func (s *spill) newRunWriter() (*runWriter, error) {
 	if s.dir == "" {
-		dir, err := os.MkdirTemp(s.parent, "verc3-spill-*")
+		var dir string
+		err := s.retry(faultfs.OpMkdirTemp, func() error {
+			var derr error
+			dir, derr = s.fs.MkdirTemp(s.parent, "verc3-spill-*")
+			return derr
+		})
 		if err != nil {
 			return nil, fmt.Errorf("visited: spill dir: %w", err)
 		}
@@ -100,11 +106,16 @@ func (s *spill) newRunWriter() (*runWriter, error) {
 	}
 	name := filepath.Join(s.dir, fmt.Sprintf("run-%06d", s.seq))
 	s.seq++
-	f, err := os.Create(name)
+	var f faultfs.File
+	err := s.retry(faultfs.OpCreate, func() error {
+		var cerr error
+		f, cerr = s.fs.Create(name)
+		return cerr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("visited: spill run: %w", err)
 	}
-	return &runWriter{f: f, name: name, buf: make([]byte, 0, 1<<16)}, nil
+	return &runWriter{s: s, f: f, name: name, buf: make([]byte, 0, 1<<16)}, nil
 }
 
 func (w *runWriter) add(fp uint64) error {
@@ -114,7 +125,7 @@ func (w *runWriter) add(fp uint64) error {
 	w.n++
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, fp)
 	if len(w.buf) == cap(w.buf) {
-		if _, err := w.f.Write(w.buf); err != nil {
+		if err := faultfs.WriteFull(w.f, w.buf, w.s.retryHook(faultfs.OpWrite)); err != nil {
 			return fmt.Errorf("visited: spill run %s: %w", w.name, err)
 		}
 		w.buf = w.buf[:0]
@@ -124,7 +135,7 @@ func (w *runWriter) add(fp uint64) error {
 
 func (w *runWriter) finish() (*spillRun, error) {
 	if len(w.buf) > 0 {
-		if _, err := w.f.Write(w.buf); err != nil {
+		if err := faultfs.WriteFull(w.f, w.buf, w.s.retryHook(faultfs.OpWrite)); err != nil {
 			w.abort()
 			return nil, fmt.Errorf("visited: spill run %s: %w", w.name, err)
 		}
@@ -134,7 +145,7 @@ func (w *runWriter) finish() (*spillRun, error) {
 
 func (w *runWriter) abort() {
 	w.f.Close()
-	os.Remove(w.name)
+	w.s.fs.Remove(w.name)
 }
 
 // spill is the SWAP-style two-level exact backend: a Robin Hood flat tier
@@ -164,13 +175,32 @@ type spill struct {
 	stripes []stripe
 	flushAt int // per-stripe used threshold that triggers a flush
 
-	parent string // configured parent dir ("" = OS temp dir)
-	dir    string // created lazily at the first flush, removed by Close
-	seq    int
-	runs   []*spillRun
+	parent  string     // configured parent dir ("" = OS temp dir)
+	dir     string     // created lazily at the first flush, removed by Close
+	fs      faultfs.FS // the I/O seam; faultfs.OS in production
+	onRetry func(op string, attempt int, err error)
+	seq     int
+	runs    []*spillRun
 
 	count atomic.Int64
 	errv  atomic.Pointer[error] // first I/O failure, sticky
+}
+
+// retryHook adapts the configured OnRetry callback to faultfs.Retry's
+// signature for one named operation.
+func (s *spill) retryHook(op faultfs.Op) func(attempt int, err error) {
+	if s.onRetry == nil {
+		return nil
+	}
+	return func(attempt int, err error) { s.onRetry(string(op), attempt, err) }
+}
+
+// retry runs op through faultfs.Retry with the backend's retry budget and
+// telemetry hook: transient faults (EINTR, injected glitches) are absorbed
+// with capped backoff, hard faults surface to the caller and go sticky via
+// fail().
+func (s *spill) retry(op faultfs.Op, f func() error) error {
+	return faultfs.Retry(faultfs.DefaultRetries, s.retryHook(op), f)
 }
 
 func newSpill(cfg Config) *spill {
@@ -191,6 +221,8 @@ func newSpill(cfg Config) *spill {
 		stripes: make([]stripe, spillStripes),
 		flushAt: slotsPow * 3 / 4,
 		parent:  cfg.SpillDir,
+		fs:      faultfs.Or(cfg.FS),
+		onRetry: cfg.OnRetry,
 	}
 }
 
@@ -237,7 +269,12 @@ func (s *spill) runsContain(fp uint64) bool {
 	bufp := spillBlockPool.Get().(*[]byte)
 	defer spillBlockPool.Put(bufp)
 	for _, r := range s.runs {
-		found, err := r.contains(fp, *bufp)
+		var found bool
+		err := s.retry(faultfs.OpReadAt, func() error {
+			var perr error
+			found, perr = r.contains(fp, *bufp)
+			return perr
+		})
 		if err != nil {
 			// Treat as absent and record the failure: the run's answer is
 			// gone, so the whole exploration is invalidated via Err().
@@ -318,7 +355,7 @@ func (s *spill) mergeLocked() {
 	heads := make([]runCursor, len(s.runs))
 	for i, r := range s.runs {
 		heads[i] = runCursor{r: r}
-		if err := heads[i].advance(); err != nil {
+		if err := s.retry(faultfs.OpReadAt, heads[i].advance); err != nil {
 			w.abort()
 			s.fail(err)
 			return
@@ -339,7 +376,7 @@ func (s *spill) mergeLocked() {
 			break
 		}
 		fp := heads[min].cur
-		if err := heads[min].advance(); err != nil {
+		if err := s.retry(faultfs.OpReadAt, heads[min].advance); err != nil {
 			w.abort()
 			s.fail(err)
 			return
@@ -361,7 +398,7 @@ func (s *spill) mergeLocked() {
 	}
 	for _, r := range s.runs {
 		r.f.Close()
-		os.Remove(r.name)
+		s.fs.Remove(r.name)
 	}
 	s.runs = []*spillRun{merged}
 }
@@ -403,6 +440,43 @@ func (c *runCursor) advance() error {
 	return nil
 }
 
+// DumpFingerprints implements Dumper: the RAM tier's stripes are walked
+// under their locks, then every disk run is streamed front to back. The
+// structural read lock is held throughout so no flush can move residents
+// between tiers mid-dump. A fingerprint that was spilled and speculatively
+// re-admitted to RAM (see TryInsert) is yielded from both tiers; consumers
+// re-insert through TryInsert, which deduplicates, so the double report is
+// harmless.
+func (s *spill) DumpFingerprints(yield func(fp statespace.Fingerprint) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		err := sp.t.each(func(fp uint64) error { return yield(statespace.Fingerprint(fp)) })
+		sp.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	for _, r := range s.runs {
+		c := runCursor{r: r}
+		for {
+			if err := s.retry(faultfs.OpReadAt, c.advance); err != nil {
+				s.fail(err)
+				return err
+			}
+			if !c.ok {
+				break
+			}
+			if err := yield(statespace.Fingerprint(c.cur)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // EndLevel implements LevelMarker: at a BFS level boundary all live runs
 // are merged into one, so the steady-state probe cost is a single ReadAt.
 func (s *spill) EndLevel() error {
@@ -420,11 +494,11 @@ func (s *spill) Close() error {
 	defer s.mu.Unlock()
 	for _, r := range s.runs {
 		r.f.Close()
-		os.Remove(r.name)
+		s.fs.Remove(r.name)
 	}
 	s.runs = nil
 	if s.dir != "" {
-		os.RemoveAll(s.dir)
+		s.fs.RemoveAll(s.dir)
 		s.dir = ""
 	}
 	return s.Err()

@@ -1,0 +1,119 @@
+package visited
+
+import (
+	"errors"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"verc3/internal/faultfs"
+)
+
+// TestSpillFaultTable drives the spill backend through the injected-fault
+// matrix: hard faults (ENOSPC, permission-style create failures) must go
+// sticky via Err() while the store falls back to RAM and stays exact;
+// torn writes must be transparently completed; transient glitches must be
+// retried — observed through the OnRetry hook — and only exhaust into a
+// sticky error when they outlast the retry budget.
+func TestSpillFaultTable(t *testing.T) {
+	const n = 30000
+	errPerm := errors.New("permission denied")
+	cases := []struct {
+		name    string
+		fault   *faultfs.Fault
+		wantErr error // sentinel Err() must wrap; nil = the run must stay clean
+		retries bool  // OnRetry must have observed at least one retried failure
+	}{
+		{"enospc-on-write", &faultfs.Fault{Err: faultfs.ErrNoSpace, Only: faultfs.OpWrite}, syscall.ENOSPC, false},
+		{"hard-create", &faultfs.Fault{Err: errPerm, Only: faultfs.OpCreate}, errPerm, false},
+		{"short-writes-completed", &faultfs.Fault{ShortWrite: true, Only: faultfs.OpWrite}, nil, false},
+		{"transient-create-clears", &faultfs.Fault{Transient: true, Only: faultfs.OpCreate, Repeat: 2}, nil, true},
+		{"transient-create-exhausted", &faultfs.Fault{Transient: true, Only: faultfs.OpCreate, Repeat: 100}, faultfs.ErrInjected, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := faultfs.NewInjector(nil)
+			inj.Plan(tc.fault)
+			var retried atomic.Int64
+			s := newSpill(Config{
+				Kind: Spill, SpillMem: 8 << 10, SpillDir: t.TempDir(), FS: inj,
+				OnRetry: func(op string, attempt int, err error) {
+					retried.Add(1)
+					if op == "" || err == nil || attempt < 1 {
+						t.Errorf("malformed retry observation: op=%q attempt=%d err=%v", op, attempt, err)
+					}
+				},
+			})
+			defer s.Close()
+			for i := 0; i < n; i++ {
+				if !s.TryInsert(fpOf(i)) {
+					t.Fatalf("first TryInsert(%d) = false", i)
+				}
+			}
+			err := s.Err()
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Err = %v, want clean run", err)
+				}
+			} else if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Err = %v, want %v", err, tc.wantErr)
+			}
+			if tc.retries && retried.Load() == 0 {
+				t.Error("no OnRetry observations for a transient fault")
+			}
+			// Whatever the disk did, membership must stay exact: every
+			// fingerprint admitted exactly once (hard faults park the
+			// drained tier back in RAM rather than losing it).
+			for i := 0; i < n; i++ {
+				if s.TryInsert(fpOf(i)) {
+					t.Fatalf("duplicate TryInsert(%d) = true after fault", i)
+				}
+			}
+			if s.Len() != n {
+				t.Errorf("Len = %d, want %d", s.Len(), n)
+			}
+			// Sticky: clearing the fault plan must not clear the error —
+			// the store has already stopped trusting the disk.
+			inj.Plan(nil)
+			for i := n; i < n+100; i++ {
+				s.TryInsert(fpOf(i))
+			}
+			if tc.wantErr != nil && !errors.Is(s.Err(), tc.wantErr) {
+				t.Errorf("Err = %v after disarm, want sticky %v", s.Err(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSpillReadFaultInvalidatesRun: a read error while probing a run file
+// means the store can no longer answer membership, so the failure must
+// surface through Err() (and from there abort the exploration) rather
+// than being silently swallowed as "absent".
+func TestSpillReadFaultInvalidatesRun(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	s := newSpill(Config{Kind: Spill, SpillMem: 8 << 10, SpillDir: t.TempDir(), FS: inj})
+	defer s.Close()
+	const n = 30000
+	for i := 0; i < n; i++ {
+		s.TryInsert(fpOf(i))
+	}
+	if s.Stats().SpillRuns == 0 {
+		t.Fatal("no spilled runs to break")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("clean fill failed: %v", err)
+	}
+	bad := errors.New("bad sector")
+	inj.Plan(&faultfs.Fault{Err: bad, Only: faultfs.OpReadAt})
+	// Probe fingerprints that by now live only on disk: the run probe hits
+	// the injected read error.
+	for i := 0; i < n; i++ {
+		s.TryInsert(fpOf(i))
+		if s.Err() != nil {
+			break
+		}
+	}
+	if !errors.Is(s.Err(), bad) {
+		t.Fatalf("Err = %v, want the injected read error", s.Err())
+	}
+}

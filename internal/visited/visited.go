@@ -52,6 +52,7 @@ package visited
 import (
 	"fmt"
 
+	"verc3/internal/faultfs"
 	"verc3/internal/statespace"
 )
 
@@ -154,6 +155,13 @@ type Config struct {
 	// ("" = the OS temp dir). A fresh subdirectory is created lazily at
 	// the first flush and removed by Close.
 	SpillDir string
+	// FS is the filesystem seam the Spill backend's run I/O goes through
+	// (nil = the real OS). Tests inject faults here; production code never
+	// sets it.
+	FS faultfs.FS
+	// OnRetry, when non-nil, observes every transient I/O failure the
+	// Spill backend retries (telemetry hook; op names the operation).
+	OnRetry func(op string, attempt int, err error)
 }
 
 // Stats is a backend's self-report, surfaced through statespace.Stats so
@@ -216,6 +224,16 @@ type Store interface {
 // Backends without level-boundary work simply don't implement it.
 type LevelMarker interface {
 	EndLevel() error
+}
+
+// Dumper is implemented by exact backends that can enumerate every admitted
+// fingerprint without disturbing the store — the checkpoint writer's
+// snapshot hook. yield is called once per fingerprint in unspecified order;
+// a non-nil error from yield (or from the backend's own I/O, for Spill)
+// stops the walk and is returned. Bitstate cannot implement it: bit
+// positions are not invertible to fingerprints.
+type Dumper interface {
+	DumpFingerprints(yield func(fp statespace.Fingerprint) error) error
 }
 
 // New builds a single-goroutine store: the sequential driver's insert path
